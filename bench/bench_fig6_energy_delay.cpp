@@ -1,0 +1,100 @@
+// Fig. 6 regeneration: search energy per bit (a) and search delay (b) as
+// functions of the number of rows and the vector dimensionality.
+//
+// Expected shape (paper Sec. IV-A):
+//   (a) energy/bit falls as rows grow — LTA & driver overheads amortize;
+//   (b) delay rises gradually with array size; ~60 % of it is ScL
+//       settling limited by the op-amp slew rate.
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/energy_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ferex;
+
+  const circuit::EnergyDelayModel model;
+  const std::size_t row_sweep[] = {16, 32, 64, 128, 256};
+  const std::size_t dim_sweep[] = {64, 128, 256, 512, 1024};
+
+  std::puts("=== Fig. 6(a): search energy per bit [fJ/bit] ===");
+  {
+    util::TextTable t({"rows \\ dims", "64", "128", "256", "512", "1024"});
+    for (std::size_t rows : row_sweep) {
+      std::vector<std::string> row{std::to_string(rows)};
+      for (std::size_t dims : dim_sweep) {
+        circuit::SearchOpSpec spec;
+        spec.rows = rows;
+        spec.dims = dims;
+        const double e_bit =
+            model.search_op(spec).energy_per_bit_j(spec) * 1e15;
+        row.push_back(util::TextTable::fmt(e_bit, 3));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t;
+    std::puts("shape check: energy/bit decreases down each column (more rows"
+              " amortize LTA/driver overheads)");
+  }
+
+  std::puts("\n=== Fig. 6(b): search delay [ns] ===");
+  {
+    util::TextTable t({"rows \\ dims", "64", "128", "256", "512", "1024"});
+    for (std::size_t rows : row_sweep) {
+      std::vector<std::string> row{std::to_string(rows)};
+      for (std::size_t dims : dim_sweep) {
+        circuit::SearchOpSpec spec;
+        spec.rows = rows;
+        spec.dims = dims;
+        row.push_back(
+            util::TextTable::fmt(model.search_op(spec).total_delay_s() * 1e9,
+                                 3));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t;
+  }
+
+  std::puts("\n=== delay breakdown (paper: ~60% from ScL settling) ===");
+  {
+    util::TextTable t({"rows", "dims", "ScL settle [ns]", "LTA [ns]",
+                       "ScL fraction"});
+    for (std::size_t rows : {16u, 64u, 256u}) {
+      for (std::size_t dims : {128u, 512u}) {
+        circuit::SearchOpSpec spec;
+        spec.rows = rows;
+        spec.dims = dims;
+        const auto cost = model.search_op(spec);
+        t.add_row({std::to_string(rows), std::to_string(dims),
+                   util::TextTable::fmt(cost.scl_settle_s * 1e9, 3),
+                   util::TextTable::fmt(cost.lta_delay_s * 1e9, 3),
+                   util::TextTable::fmt(
+                       cost.scl_settle_s / cost.total_delay_s(), 2)});
+      }
+    }
+    std::cout << t;
+  }
+
+  std::puts("\n=== energy breakdown at 64 rows x 512 dims ===");
+  {
+    circuit::SearchOpSpec spec;
+    spec.rows = 64;
+    spec.dims = 512;
+    const auto cost = model.search_op(spec);
+    util::TextTable t({"component", "energy [pJ]", "share"});
+    const double total = cost.total_energy_j();
+    const auto row = [&](const char* name, double e) {
+      t.add_row({name, util::TextTable::fmt(e * 1e12, 3),
+                 util::TextTable::fmt(100.0 * e / total, 1) + "%"});
+    };
+    row("array conduction", cost.array_energy_j);
+    row("DL/SL drivers", cost.driver_energy_j);
+    row("row op-amps", cost.opamp_energy_j);
+    row("LTA", cost.lta_energy_j);
+    row("periphery (decoder/DAC/supply)", cost.periphery_energy_j);
+    t.add_row({"total", util::TextTable::fmt(total * 1e12, 3), "100%"});
+    std::cout << t;
+  }
+  return 0;
+}

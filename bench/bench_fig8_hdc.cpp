@@ -1,0 +1,150 @@
+// Fig. 8 regeneration: HDC benchmarking over the three Table III datasets.
+//
+//   (a) classification accuracy per FeReX distance metric — different
+//       datasets prefer different metrics, the motivation for
+//       reconfigurability;
+//   (b) computation speedup of FeReX over the GPU implementation
+//       (paper: up to 250x);
+//   (c) energy-efficiency improvement over GPU (paper: up to ~10^4).
+//
+// FeReX latency/energy come from the circuit energy/delay model on the
+// prototype-array geometry (K rows x D dims); GPU numbers come from the
+// RTX-3090-class roofline model (see DESIGN.md for the substitution).
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/gpu_model.hpp"
+#include "circuit/energy_model.hpp"
+#include "core/ferex.hpp"
+#include "data/datasets.hpp"
+#include "ml/hdc.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ferex;
+using csp::DistanceMetric;
+
+struct DatasetResult {
+  std::string name;
+  double accuracy[3] = {0, 0, 0};  // HD, L1, L2
+  double speedup_streaming = 0.0;  ///< GPU at online batch (8 queries)
+  double speedup_batched = 0.0;    ///< GPU amortized over the full test set
+  double energy_gain_streaming = 0.0;
+  double energy_gain_batched = 0.0;
+};
+
+DatasetResult run_dataset(const data::SyntheticSpec& spec,
+                          std::uint64_t seed) {
+  const auto ds = data::make_synthetic(spec, seed);
+
+  // Hamming deployments binarize hypervectors (classic HDC); L1/L2 use
+  // the multi-bit representation. FeReX serves both from the same array —
+  // the bit width is part of the reconfiguration. Same projection seed,
+  // so the two models differ only in prototype/query quantization.
+  ml::HdcOptions hdc_opt;
+  hdc_opt.hypervector_dim = 1024;
+  hdc_opt.bits = 2;
+  hdc_opt.training_epochs = 3;
+  ml::HdcModel model(ds.feature_count, ds.class_count, hdc_opt);
+  model.train(ds.train_x, ds.train_y);
+  ml::HdcOptions hdc1 = hdc_opt;
+  hdc1.bits = 1;
+  ml::HdcModel binary_model(ds.feature_count, ds.class_count, hdc1);
+  binary_model.train(ds.train_x, ds.train_y);
+
+  DatasetResult result;
+  result.name = ds.name;
+  result.accuracy[0] =
+      binary_model.evaluate(DistanceMetric::kHamming, ds.test_x, ds.test_y);
+  result.accuracy[1] =
+      model.evaluate(DistanceMetric::kManhattan, ds.test_x, ds.test_y);
+  result.accuracy[2] = model.evaluate(DistanceMetric::kEuclideanSquared,
+                                      ds.test_x, ds.test_y);
+
+  // FeReX side: one associative search per query over the prototype array
+  // (K rows x D dims, 2-bit cells -> 3FeFET3R from the encoder).
+  circuit::EnergyDelayModel edm;
+  circuit::SearchOpSpec op;
+  op.rows = ds.class_count;
+  op.dims = hdc_opt.hypervector_dim;
+  op.fefets_per_cell = 3;
+  op.bits_per_cell = 2;
+  const auto ferex_cost = edm.search_op(op);
+
+  // GPU side, two operating regimes:
+  //  * streaming (batch = 8): online/edge inference, fixed kernel-launch
+  //    and framework overheads dominate — the regime where CiM shines and
+  //    where the paper's "up to 250x" lives;
+  //  * batched (batch = full test set): overheads amortized, the GPU's
+  //    best case.
+  baseline::GpuCostModel gpu;
+  const auto per_query = [&](std::size_t batch) {
+    const auto cost = gpu.hdc_inference(batch, ds.class_count,
+                                        hdc_opt.hypervector_dim);
+    return std::pair{cost.latency_s / static_cast<double>(batch),
+                     cost.energy_j / static_cast<double>(batch)};
+  };
+  const auto [lat_stream, en_stream] = per_query(8);
+  const auto [lat_batch, en_batch] = per_query(ds.test_x.rows());
+  result.speedup_streaming = lat_stream / ferex_cost.total_delay_s();
+  result.speedup_batched = lat_batch / ferex_cost.total_delay_s();
+  result.energy_gain_streaming = en_stream / ferex_cost.total_energy_j();
+  result.energy_gain_batched = en_batch / ferex_cost.total_energy_j();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig. 8: HDC benchmarking (Table III datasets, synthetic "
+            "substitutes) ===\n");
+
+  std::vector<DatasetResult> results;
+  results.push_back(run_dataset(data::isolet_like(), 101));
+  results.push_back(run_dataset(data::ucihar_like(), 202));
+  results.push_back(run_dataset(data::mnist_like(), 303));
+
+  std::puts("--- Fig. 8(a): classification accuracy per distance metric ---");
+  util::TextTable acc({"dataset", "Hamming (1-bit)", "Manhattan (2-bit)",
+                       "Euclidean (2-bit)", "best metric"});
+  const char* metric_names[] = {"Hamming", "Manhattan", "Euclidean"};
+  for (const auto& r : results) {
+    int best = 0;
+    for (int m = 1; m < 3; ++m) {
+      if (r.accuracy[m] > r.accuracy[best]) best = m;
+    }
+    acc.add_row({r.name, util::TextTable::fmt(r.accuracy[0], 3),
+                 util::TextTable::fmt(r.accuracy[1], 3),
+                 util::TextTable::fmt(r.accuracy[2], 3),
+                 metric_names[best]});
+  }
+  std::cout << acc;
+  std::puts("shape check: no single metric wins everywhere -> "
+            "reconfigurability pays (paper Fig. 8a)");
+
+  std::puts("\n--- Fig. 8(b)/(c): speedup and energy efficiency vs GPU ---");
+  util::TextTable speed({"dataset", "speedup stream", "speedup batched",
+                         "energy gain stream", "energy gain batched"});
+  for (const auto& r : results) {
+    speed.add_row({r.name,
+                   util::TextTable::fmt(r.speedup_streaming, 0) + "x",
+                   util::TextTable::fmt(r.speedup_batched, 0) + "x",
+                   util::TextTable::sci(r.energy_gain_streaming, 1) + "x",
+                   util::TextTable::sci(r.energy_gain_batched, 1) + "x"});
+  }
+  std::cout << speed;
+
+  double max_speedup = 0.0, max_gain = 0.0;
+  for (const auto& r : results) {
+    max_speedup = std::max(max_speedup, r.speedup_streaming);
+    max_gain = std::max(max_gain, r.energy_gain_batched);
+  }
+  std::printf("\nmax streaming speedup: %.0fx (paper: up to 250x)\n",
+              max_speedup);
+  std::printf("energy-efficiency gain: %.1e batched / higher streaming "
+              "(paper: up to 1e4;\n  our simulated macro is more frugal "
+              "than the paper's silicon estimate, so the\n  ratio "
+              "overshoots — see EXPERIMENTS.md)\n", max_gain);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark): CSP encoder cost per metric and
+// bit width, AC-3 vs pure-backtracking ablation, crossbar search
+// throughput vs geometry, LTA decision scaling, HDC encode throughput.
+#include <benchmark/benchmark.h>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/lta.hpp"
+#include "csp/feasibility.hpp"
+#include "encode/encoder.hpp"
+#include "ml/hdc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ferex;
+
+// ------------------------------------------------------ CSP encoder ---
+
+void BM_EncoderHamming(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto dm = csp::DistanceMatrix::make(csp::DistanceMetric::kHamming,
+                                            bits);
+  encode::EncoderOptions opt;
+  opt.max_fefets_per_cell = 6;
+  for (auto _ : state) {
+    auto enc = encode::encode_distance_matrix(dm, opt);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_EncoderHamming)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EncoderManhattan(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto dm = csp::DistanceMatrix::make(csp::DistanceMetric::kManhattan,
+                                            bits);
+  encode::EncoderOptions opt;
+  opt.max_fefets_per_cell = 6;
+  opt.max_vds_multiple = 3;
+  for (auto _ : state) {
+    auto enc = encode::encode_distance_matrix(dm, opt);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_EncoderManhattan)->Arg(1)->Arg(2);
+
+// Ablation: constraint-3 filtering via AC-3 vs pure backtracking.
+void BM_FeasibilityAc3(benchmark::State& state) {
+  const auto dm = csp::DistanceMatrix::make(csp::DistanceMetric::kHamming, 2);
+  const std::vector<int> cr{1, 2};
+  csp::FeasibilityOptions opt;
+  opt.use_ac3 = state.range(0) != 0;
+  for (auto _ : state) {
+    auto r = csp::detect_feasibility(dm, 3, cr, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FeasibilityAc3)->Arg(1)->Arg(0);
+
+// -------------------------------------------------- crossbar search ---
+
+void BM_CrossbarSearch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto dims = static_cast<std::size_t>(state.range(1));
+  const auto dm = csp::DistanceMatrix::make(csp::DistanceMetric::kHamming, 2);
+  const auto enc = encode::encode_distance_matrix(dm);
+  const device::VoltageLadder ladder(enc->ladder_levels());
+  circuit::CrossbarConfig config;
+  util::Rng rng(1);
+  circuit::CrossbarArray array(rows, dims, *enc, ladder, config, rng);
+  util::Rng data_rng(2);
+  std::vector<int> row(dims);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& v : row) v = static_cast<int>(data_rng.uniform_below(4));
+    array.program_row(r, row);
+  }
+  std::vector<int> query(dims);
+  for (auto& v : query) v = static_cast<int>(data_rng.uniform_below(4));
+  for (auto _ : state) {
+    auto currents = array.search(query);
+    benchmark::DoNotOptimize(currents);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * dims));
+}
+BENCHMARK(BM_CrossbarSearch)
+    ->Args({16, 128})
+    ->Args({64, 128})
+    ->Args({64, 1024})
+    ->Args({256, 1024});
+
+// -------------------------------------------------------------- LTA ---
+
+void BM_LtaDecide(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> currents(rows);
+  for (auto& c : currents) c = rng.uniform(1e-7, 1e-5);
+  const circuit::LtaCircuit lta;
+  for (auto _ : state) {
+    auto d = lta.decide(currents, 1e-7, &rng);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_LtaDecide)->Arg(16)->Arg(256)->Arg(4096);
+
+// -------------------------------------------------------------- HDC ---
+
+void BM_HdcEncode(benchmark::State& state) {
+  const auto features = static_cast<std::size_t>(state.range(0));
+  ml::HdcOptions opt;
+  opt.hypervector_dim = static_cast<std::size_t>(state.range(1));
+  ml::HdcModel model(features, 4, opt);
+  util::Rng rng(4);
+  std::vector<double> x(features);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    auto h = model.encode(x);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(features) *
+                          state.range(1));
+}
+BENCHMARK(BM_HdcEncode)->Args({617, 1024})->Args({784, 2048});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table I regeneration: AM design-space comparison.
+//
+// The prior-work rows are literature facts reproduced verbatim; the FeReX
+// row is *demonstrated* by configuring the engine for every claimed
+// distance function and verifying the realized distance matrix — i.e. we
+// regenerate the table's claim, not just restate it.
+#include <cstdio>
+#include <iostream>
+
+#include "core/ferex.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ferex;
+  using csp::DistanceMetric;
+
+  std::puts("=== Table I: existing AMs with different distance functions ===");
+  util::TextTable table({"Design", "NVM", "Cell structure", "MLC",
+                         "Distance function"});
+  table.add_row({"Nat. Ele. [23]", "PCM", "1PCM", "No", "Hamming"});
+  table.add_row({"IEDM'20 [24]", "FeFET", "2FeFET-1T", "Yes", "Best-match"});
+  table.add_row({"TED'21 [14]", "RRAM", "2RRAM", "Yes", "Manhattan"});
+  table.add_row({"TC'21 [18]", "FeFET", "2FeFET", "Yes", "Sigmoid"});
+  table.add_row({"SR'22 [15]", "FeFET", "2FeFET", "Yes", "Euclidean"});
+  table.add_row({"FeReX (this work)", "FeFET", "1FeFET-1R", "Yes",
+                 "HD / L1 / L2 (reconfigurable)"});
+  std::cout << table;
+
+  std::puts("\n--- demonstrating the FeReX row: one engine, every metric ---");
+  core::FerexOptions opt;
+  opt.circuit.variation.enabled = false;
+  opt.lta.offset_sigma_rel = 0.0;
+  opt.encoder.max_fefets_per_cell = 6;
+  opt.encoder.max_vds_multiple = 5;
+  core::FerexEngine engine(opt);
+  engine.store({{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 1, 1, 1}});
+
+  util::TextTable demo({"metric", "bits", "cell", "levels", "DM realized",
+                        "NN of (2,2,2,2)"});
+  for (auto metric : {DistanceMetric::kHamming, DistanceMetric::kManhattan,
+                      DistanceMetric::kEuclideanSquared}) {
+    engine.configure(metric, 2);
+    const auto& enc = engine.encoding();
+    const std::vector<int> query{2, 2, 2, 2};
+    const auto result = engine.search(query);
+    demo.add_row({csp::to_string(metric), "2",
+                  std::to_string(enc.fefets_per_cell()) + "FeFET" +
+                      std::to_string(enc.fefets_per_cell()) + "R",
+                  std::to_string(enc.ladder_levels()),
+                  enc.realizes(engine.distance_matrix()) ? "yes" : "NO",
+                  "row " + std::to_string(result.nearest) + " (d=" +
+                      std::to_string(result.nominal_distance) + ")"});
+  }
+  std::cout << demo;
+  std::puts("\nAll three metrics served by the same array after in-place "
+            "reconfiguration\n(first reconfigurable-distance NVM AM; "
+            "paper Sec. I).");
+  return 0;
+}

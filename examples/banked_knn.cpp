@@ -1,0 +1,65 @@
+// Large-scale KNN through the banked multi-macro architecture.
+//
+// A single FeReX macro holds at most a few hundred rows; a KNN database
+// of 1-2k training vectors therefore spans multiple macros. This example
+// classifies an MNIST-shaped synthetic digit set with 1-NN over banked
+// FeReX arrays, reports accuracy against software KNN, and prints the
+// architecture-level delay/energy of the banked search.
+#include <cstdio>
+
+#include "arch/banked_am.hpp"
+#include "data/datasets.hpp"
+#include "ml/knn.hpp"
+#include "ml/quantize.hpp"
+
+int main() {
+  using ferex::csp::DistanceMetric;
+
+  auto spec = ferex::data::mnist_like();
+  spec.train_size = 1000;  // spans 8 banks of 128 rows
+  spec.test_size = 200;
+  const auto ds = ferex::data::make_synthetic(spec, 99);
+  std::printf("dataset: %s, %zu train / %zu test, %zu features\n",
+              ds.name.c_str(), ds.train_x.rows(), ds.test_x.rows(),
+              ds.feature_count);
+
+  const auto quantizer = ferex::ml::Quantizer::fit(ds.train_x, 2);
+  const auto train_q = quantizer.quantize(ds.train_x);
+  const auto test_q = quantizer.quantize(ds.test_x);
+  std::vector<std::vector<int>> database;
+  for (std::size_t r = 0; r < train_q.rows(); ++r) {
+    const auto row = train_q.row(r);
+    database.emplace_back(row.begin(), row.end());
+  }
+
+  ferex::arch::BankedOptions opt;
+  opt.bank_rows = 128;
+  // Nominal fidelity keeps this example fast; the robustness_study and
+  // bench_fig7 cover circuit-level noise.
+  opt.engine.fidelity = ferex::core::SearchFidelity::kNominal;
+  ferex::arch::BankedAm am(opt);
+  am.configure(DistanceMetric::kHamming, 2);
+  am.store(database);
+  std::printf("banked across %zu macros of up to %zu rows\n",
+              am.bank_count(), opt.bank_rows);
+
+  const ferex::ml::KnnClassifier software(train_q, ds.train_y);
+  std::size_t hw_hits = 0, sw_hits = 0;
+  for (std::size_t s = 0; s < test_q.rows(); ++s) {
+    const auto row = test_q.row(s);
+    const std::vector<int> query(row.begin(), row.end());
+    const auto result = am.search(query);
+    if (ds.train_y[result.nearest] == ds.test_y[s]) ++hw_hits;
+    if (software.predict(DistanceMetric::kHamming, query, 1) == ds.test_y[s]) {
+      ++sw_hits;
+    }
+  }
+  const auto n = static_cast<double>(test_q.rows());
+  std::printf("1-NN accuracy: FeReX banked %.3f | software %.3f\n",
+              hw_hits / n, sw_hits / n);
+  std::printf("banked search: %.2f ns, %.2f nJ per query "
+              "(%zu banks in parallel + global LTA)\n",
+              am.search_delay_s() * 1e9, am.search_energy_j() * 1e9,
+              am.bank_count());
+  return 0;
+}

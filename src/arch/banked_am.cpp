@@ -1,0 +1,122 @@
+#include "arch/banked_am.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ferex::arch {
+
+BankedAm::BankedAm(BankedOptions options)
+    : options_(options), global_lta_(options.engine.lta) {
+  if (options_.bank_rows == 0) {
+    throw std::invalid_argument("BankedAm: bank_rows == 0");
+  }
+}
+
+void BankedAm::configure(csp::DistanceMetric metric, int bits) {
+  metric_ = metric;
+  bits_ = bits;
+  configured_ = true;
+  for (auto& bank : banks_) bank->configure(metric, bits);
+}
+
+void BankedAm::store(const std::vector<std::vector<int>>& database) {
+  if (!configured_) {
+    throw std::logic_error("BankedAm::store: configure() first");
+  }
+  if (database.empty()) {
+    throw std::invalid_argument("BankedAm::store: empty database");
+  }
+  banks_.clear();
+  bank_offsets_.clear();
+  total_rows_ = database.size();
+  for (std::size_t start = 0; start < database.size();
+       start += options_.bank_rows) {
+    const std::size_t end =
+        std::min(start + options_.bank_rows, database.size());
+    std::vector<std::vector<int>> slice(database.begin() + start,
+                                        database.begin() + end);
+    auto engine_options = options_.engine;
+    // Decorrelate device variation across macros.
+    engine_options.seed = options_.engine.seed + 0x9e37 * (start + 1);
+    auto bank = std::make_unique<core::FerexEngine>(engine_options);
+    bank->configure(metric_, bits_);
+    bank->store(std::move(slice));
+    banks_.push_back(std::move(bank));
+    bank_offsets_.push_back(start);
+  }
+}
+
+std::size_t BankedAm::global_index(std::size_t bank, std::size_t local) const {
+  return bank_offsets_[bank] + local;
+}
+
+BankedSearchResult BankedAm::search(std::span<const int> query) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search: store() first");
+  }
+  // Stage 1: every bank's local LTA resolves its winner in parallel.
+  std::vector<double> winner_currents(banks_.size());
+  std::vector<std::size_t> winner_locals(banks_.size());
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    const auto r = banks_[b]->search(query);
+    winner_currents[b] = r.winner_current_a;
+    winner_locals[b] = r.nearest;
+  }
+  // Stage 2: a small global comparator over the bank winners.
+  const auto decision =
+      global_lta_.decide(winner_currents, banks_.front()->sense_unit(),
+                         nullptr);
+  BankedSearchResult out;
+  out.bank = decision.winner;
+  out.nearest = global_index(decision.winner, winner_locals[decision.winner]);
+  out.winner_current_a = decision.winner_current_a;
+  return out;
+}
+
+std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,
+                                            std::size_t k) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_k: store() first");
+  }
+  if (k == 0 || k > total_rows_) {
+    throw std::invalid_argument("BankedAm::search_k: bad k");
+  }
+  // Each bank holds its sensed row currents (the post-decoder can mask
+  // individual row branches); the global stage iteratively extracts the
+  // minimum across the concatenated currents.
+  std::vector<double> all;
+  all.reserve(total_rows_);
+  for (auto& bank : banks_) {
+    const auto currents = bank->row_currents(query);
+    all.insert(all.end(), currents.begin(), currents.end());
+  }
+  return global_lta_.decide_k(all, banks_.front()->sense_unit(), k, nullptr);
+}
+
+double BankedAm::search_delay_s() const {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_delay_s: store() first");
+  }
+  // Banks fire concurrently; the slowest bank gates the global stage.
+  double slowest = 0.0;
+  for (const auto& bank : banks_) {
+    slowest = std::max(slowest, bank->search_cost().total_delay_s());
+  }
+  return slowest + global_lta_.delay_s(banks_.size());
+}
+
+double BankedAm::search_energy_j() const {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_energy_j: store() first");
+  }
+  double total = 0.0;
+  for (const auto& bank : banks_) {
+    total += bank->search_cost().total_energy_j();
+  }
+  total += global_lta_.energy_j(banks_.size(),
+                                global_lta_.delay_s(banks_.size()));
+  return total;
+}
+
+}  // namespace ferex::arch

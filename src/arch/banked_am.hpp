@@ -1,0 +1,80 @@
+// Banked multi-macro FeReX architecture.
+//
+// A single FeReX macro is bounded (the paper evaluates up to 256 rows x
+// 1024 dimensions; ScL settling and LTA resolution degrade beyond that).
+// Real workloads — e.g. KNN over thousands of training vectors — need the
+// database *banked* across several macros:
+//
+//   * rows are partitioned row-major across `bank_rows`-sized macros;
+//   * one search broadcasts the query to every bank in parallel;
+//   * each bank's LTA produces a local winner (current + index);
+//   * a global comparison stage (a second, small LTA over the per-bank
+//     winner currents) picks the overall nearest neighbor.
+//
+// Banks share the search-line drivers, so delay is one bank search plus
+// the global-LTA stage; energy is the sum over banks plus the global
+// stage. k-NN is served by iterative masking at the global level.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/ferex.hpp"
+
+namespace ferex::arch {
+
+struct BankedOptions {
+  std::size_t bank_rows = 128;      ///< max stored vectors per macro
+  core::FerexOptions engine{};      ///< per-macro configuration
+};
+
+/// Result of a banked search.
+struct BankedSearchResult {
+  std::size_t nearest = 0;          ///< global row index
+  std::size_t bank = 0;             ///< bank holding the winner
+  double winner_current_a = 0.0;    ///< winner's sensed current
+};
+
+/// A database of vectors partitioned across FeReX macros.
+class BankedAm {
+ public:
+  explicit BankedAm(BankedOptions options = {});
+
+  /// Configures the distance function on every (current and future) bank.
+  void configure(csp::DistanceMetric metric, int bits);
+
+  /// Stores the database, partitioning rows across banks.
+  void store(const std::vector<std::vector<int>>& database);
+
+  std::size_t bank_count() const noexcept { return banks_.size(); }
+  std::size_t stored_count() const noexcept { return total_rows_; }
+
+  /// Global nearest-neighbor search (all banks in parallel + global LTA).
+  BankedSearchResult search(std::span<const int> query);
+
+  /// Global k-nearest (nearest first).
+  std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
+
+  /// Delay of one banked search: banks operate in parallel, then the
+  /// global comparator resolves bank winners.
+  double search_delay_s() const;
+
+  /// Energy of one banked search: all banks fire.
+  double search_energy_j() const;
+
+ private:
+  std::size_t global_index(std::size_t bank, std::size_t local) const;
+
+  BankedOptions options_;
+  csp::DistanceMetric metric_ = csp::DistanceMetric::kHamming;
+  int bits_ = 0;
+  bool configured_ = false;
+  std::vector<std::unique_ptr<core::FerexEngine>> banks_;
+  std::vector<std::size_t> bank_offsets_;  ///< global row of bank's row 0
+  std::size_t total_rows_ = 0;
+  circuit::LtaCircuit global_lta_;
+};
+
+}  // namespace ferex::arch

@@ -1,0 +1,38 @@
+#include "baseline/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace ferex::baseline {
+
+GpuCost GpuCostModel::hdc_inference(std::size_t batch, std::size_t classes,
+                                    std::size_t dim,
+                                    std::size_t bytes_per_element) const {
+  const double b = static_cast<double>(batch);
+  const double k = static_cast<double>(classes);
+  const double d = static_cast<double>(dim);
+  const double elem = static_cast<double>(bytes_per_element);
+
+  // Memory traffic per batch: query batch in, prototype bank in, distance
+  // matrix out (FP32 scores).
+  const double bytes = b * d * elem + k * d * elem + b * k * 4.0;
+  const double t_mem = bytes / params_.mem_bandwidth_b_per_s;
+
+  // Compute: ~3 ops per (query, class, dim) element pair.
+  const double flops = 3.0 * b * k * d;
+  const double t_compute = flops / params_.peak_flops;
+
+  // Overheads: fixed per batch, regardless of size.
+  const double t_overhead =
+      params_.framework_overhead_s +
+      static_cast<double>(params_.kernels_per_batch) * params_.kernel_launch_s;
+
+  GpuCost cost;
+  cost.latency_s = t_overhead + std::max(t_mem, t_compute);
+  // Board power during the kernel window; idle floor over the overhead.
+  cost.energy_j = params_.board_power_w * std::max(t_mem, t_compute) +
+                  params_.idle_power_w * t_overhead +
+                  params_.board_power_w * 0.3 * t_overhead;
+  return cost;
+}
+
+}  // namespace ferex::baseline

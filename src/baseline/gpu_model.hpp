@@ -1,0 +1,53 @@
+// GPU baseline cost model (RTX-3090 class) for the Fig. 8(b)/(c)
+// speedup and energy-efficiency comparisons.
+//
+// The paper measures HDC inference on an Nvidia 3090 through the PyTorch
+// profiler and nvidia-smi. Offline we substitute an analytical roofline:
+// the distance kernel is memory-bandwidth bound (it streams the class
+// prototypes and query batch once), and small kernels pay a fixed
+// launch + framework overhead that dominates at the batch sizes
+// associative inference uses — that overhead is precisely why a CiM
+// macro achieves two-orders-of-magnitude speedups on this workload.
+#pragma once
+
+#include <cstddef>
+
+namespace ferex::baseline {
+
+struct GpuParams {
+  double mem_bandwidth_b_per_s = 936e9;  ///< GDDR6X peak bandwidth
+  double peak_flops = 35.6e12;           ///< FP32 peak
+  double board_power_w = 350.0;          ///< TDP drawn during the kernel
+  double idle_power_w = 30.0;            ///< contribution outside kernels
+  double kernel_launch_s = 8e-6;         ///< per-launch latency (driver)
+  double framework_overhead_s = 25e-6;   ///< per-batch PyTorch dispatch
+  std::size_t kernels_per_batch = 3;     ///< encode, distance, argmin
+};
+
+struct GpuCost {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Roofline + overhead model of HDC inference on the GPU.
+class GpuCostModel {
+ public:
+  explicit GpuCostModel(GpuParams params = {}) : params_(params) {}
+
+  const GpuParams& params() const noexcept { return params_; }
+
+  /// Cost of classifying `batch` queries against `classes` prototypes of
+  /// dimensionality `dim` (bytes_per_element: 4 for FP32, 1 for int8).
+  ///
+  /// Traffic: prototypes are re-streamed per batch (they do not persist
+  /// in L2 across kernels at these sizes), queries in, scores out.
+  /// Compute: ~3 ops per element pair (sub, square/abs, add).
+  GpuCost hdc_inference(std::size_t batch, std::size_t classes,
+                        std::size_t dim,
+                        std::size_t bytes_per_element = 4) const;
+
+ private:
+  GpuParams params_;
+};
+
+}  // namespace ferex::baseline

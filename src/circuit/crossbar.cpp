@@ -1,0 +1,179 @@
+#include "circuit/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "device/preisach.hpp"
+
+namespace ferex::circuit {
+
+CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
+                             const encode::CellEncoding& encoding,
+                             const device::VoltageLadder& ladder,
+                             CrossbarConfig config, util::Rng& rng)
+    : rows_(rows),
+      dims_(dims),
+      fefets_per_cell_(encoding.fefets_per_cell()),
+      encoding_(encoding),
+      ladder_(ladder),
+      config_(config) {
+  if (rows == 0 || dims == 0) {
+    throw std::invalid_argument("CrossbarArray: empty geometry");
+  }
+  if (ladder.levels() < encoding.ladder_levels()) {
+    throw std::invalid_argument(
+        "CrossbarArray: ladder has fewer levels than the encoding needs");
+  }
+  if (ladder.vth(ladder.levels() - 1) > config_.fet.vth_max_v) {
+    throw std::invalid_argument(
+        "CrossbarArray: ladder's highest Vth exceeds the device's "
+        "programmable window — use a smaller step");
+  }
+  const std::size_t devices = rows * dims * fefets_per_cell_;
+  const device::VariationModel variation(config_.variation);
+  vth_offsets_.resize(devices);
+  resistances_.resize(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    vth_offsets_[d] = variation.sample_vth_offset(rng);
+    resistances_[d] =
+        config_.cell.resistance_ohm * variation.sample_r_multiplier(rng);
+  }
+  // Erased state: highest threshold (nothing conducts until programmed).
+  vth_.assign(devices, config_.fet.vth_max_v);
+  stored_values_.assign(rows * dims, 0);
+}
+
+void CrossbarArray::program_row(std::size_t row, std::span<const int> values) {
+  if (row >= rows_) throw std::out_of_range("program_row: row");
+  if (values.size() != dims_) {
+    throw std::invalid_argument("program_row: values.size() != dims");
+  }
+  for (int v : values) {
+    if (v < 0 || static_cast<std::size_t>(v) >= encoding_.stored_count()) {
+      throw std::out_of_range("program_row: element value out of range");
+    }
+  }
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    const int value = values[dim];
+    stored_values_[row * dims_ + dim] = value;
+    for (std::size_t i = 0; i < fefets_per_cell_; ++i) {
+      const int level = encoding_.store_level(static_cast<std::size_t>(value), i);
+      const double target = ladder_.vth(static_cast<std::size_t>(level));
+      const std::size_t dev = device_index(row, dim, i);
+      double programmed = target;
+      if (config_.use_preisach_programming) {
+        device::PreisachParams pp;
+        pp.vth_low_v = config_.fet.vth_min_v;
+        pp.vth_high_v = config_.fet.vth_max_v;
+        device::PreisachFeFet fet(pp);
+        fet.program_to_vth(target, config_.program_tolerance_v);
+        programmed = fet.vth();
+      }
+      // D2D variation perturbs where the device lands around the target.
+      vth_[dev] = programmed + vth_offsets_[dev];
+    }
+  }
+}
+
+double CrossbarArray::cell_current(std::size_t dev, double vgs_v,
+                                   double vds_v) const {
+  if (vds_v <= 0.0) return 0.0;
+  const auto& fet = config_.fet;
+  double fet_current;
+  if (vgs_v >= vth_[dev]) {
+    fet_current = fet.isat_a;
+  } else {
+    const double decades = (vgs_v - vth_[dev]) / (fet.ss_mv_per_dec * 1e-3);
+    fet_current = std::max(fet.isat_a * std::pow(10.0, decades),
+                           fet.min_leak_a);
+  }
+  return std::min(fet_current, vds_v / resistances_[dev]);
+}
+
+double CrossbarArray::row_current(std::size_t row, std::span<const double> vgs,
+                                  std::span<const double> vds) const {
+  // The ScL potential rises with the row current through the clamp's
+  // residual impedance, reducing every cell's effective Vgs and Vds; a
+  // short fixed-point iteration captures the feedback (2-3 iterations
+  // suffice at these impedance levels).
+  const double source_res = config_.use_opamp_clamp
+                                ? config_.opamp.output_res_ohm
+                                : config_.unclamped_source_res_ohm;
+  const std::size_t per_row = dims_ * fefets_per_cell_;
+  const std::size_t base = row * per_row;
+  const auto total_current = [&](double v_scl) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < per_row; ++j) {
+      sum += cell_current(base + j, vgs[j] - v_scl, vds[j] - v_scl);
+    }
+    return sum;
+  };
+  if (source_res <= 0.0) return total_current(0.0);
+  // Solve v = R_src * I(v) by damped fixed-point iteration; undamped
+  // iteration oscillates when R_src * dI/dv is large (the unclamped
+  // ablation case).
+  double v_scl = 0.0;
+  double current = total_current(0.0);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double v_next = 0.5 * (v_scl + current * source_res);
+    current = total_current(v_next);
+    if (std::abs(v_next - v_scl) < 1e-7) {
+      v_scl = v_next;
+      break;
+    }
+    v_scl = v_next;
+  }
+  return current;
+}
+
+std::vector<double> CrossbarArray::search(std::span<const int> query) const {
+  if (query.size() != dims_) {
+    throw std::invalid_argument("search: query.size() != dims");
+  }
+  // Resolve the per-device-column gate and drain biases once.
+  const std::size_t per_row = dims_ * fefets_per_cell_;
+  std::vector<double> vgs(per_row, 0.0);
+  std::vector<double> vds(per_row, 0.0);
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    const int qv = query[dim];
+    if (qv < 0 || static_cast<std::size_t>(qv) >= encoding_.search_count()) {
+      throw std::out_of_range("search: query value out of range");
+    }
+    for (std::size_t i = 0; i < fefets_per_cell_; ++i) {
+      const std::size_t col = dim * fefets_per_cell_ + i;
+      const int level = encoding_.search_level(static_cast<std::size_t>(qv), i);
+      vgs[col] = ladder_.vsearch(static_cast<std::size_t>(level));
+      vds[col] = config_.cell.vds_unit_v *
+                 encoding_.vds_multiple(static_cast<std::size_t>(qv), i);
+    }
+  }
+  std::vector<double> currents(rows_);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    currents[row] = row_current(row, vgs, vds);
+  }
+  return currents;
+}
+
+int CrossbarArray::nominal_distance(std::span<const int> query,
+                                    std::size_t row) const {
+  int total = 0;
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    total += encoding_.nominal_current(
+        static_cast<std::size_t>(query[dim]),
+        static_cast<std::size_t>(stored_value(row, dim)));
+  }
+  return total;
+}
+
+double CrossbarArray::device_vth(std::size_t row, std::size_t dim,
+                                 std::size_t fefet) const {
+  return vth_[device_index(row, dim, fefet)];
+}
+
+double CrossbarArray::device_resistance(std::size_t row, std::size_t dim,
+                                        std::size_t fefet) const {
+  return resistances_[device_index(row, dim, fefet)];
+}
+
+}  // namespace ferex::circuit

@@ -1,0 +1,116 @@
+// The 1FeFET1R crossbar array (Fig. 2a).
+//
+// Rows store data vectors (one vector per row, one cell of k FeFETs per
+// vector element); search lines (SLs) and drain lines (DLs) are shared
+// per FeFET column, source lines (ScLs) aggregate each row's current.
+// A search applies the encoding's per-element gate voltages and drain
+// multiples; the row current is the current-domain distance sum that the
+// LTA then minimizes over rows.
+//
+// Device-to-device variation (Vth offset, series-R spread) is sampled per
+// device at construction — it is a property of the fabricated array, not
+// of an individual operation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "circuit/interface.hpp"
+#include "device/levels.hpp"
+#include "device/one_fefet_one_r.hpp"
+#include "device/variation.hpp"
+#include "encode/encoding_table.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::circuit {
+
+struct CrossbarConfig {
+  device::CellParams cell{};
+  device::FeFetParams fet{};
+  device::VariationParams variation{};
+  OpAmpParams opamp{};
+
+  /// When false (ablation), the ScL is not held by the op-amp and the row
+  /// current sees a much larger source impedance, corrupting Vds.
+  bool use_opamp_clamp = true;
+
+  /// Source impedance of the bare ScL when the clamp is disabled.
+  double unclamped_source_res_ohm = 50e3;
+
+  /// Program each device through the Preisach pulse model instead of
+  /// directly setting Vth (slower; used to validate the write path).
+  bool use_preisach_programming = false;
+
+  /// Program-and-verify tolerance for the Preisach path.
+  double program_tolerance_v = 5e-3;
+};
+
+class CrossbarArray {
+ public:
+  /// Builds an array of `rows` x `dims` cells wired for `encoding`.
+  /// The ladder must offer at least encoding.ladder_levels() levels.
+  CrossbarArray(std::size_t rows, std::size_t dims,
+                const encode::CellEncoding& encoding,
+                const device::VoltageLadder& ladder, CrossbarConfig config,
+                util::Rng& rng);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t fefets_per_cell() const noexcept { return fefets_per_cell_; }
+  const encode::CellEncoding& encoding() const noexcept { return encoding_; }
+  const device::VoltageLadder& ladder() const noexcept { return ladder_; }
+  const CrossbarConfig& config() const noexcept { return config_; }
+
+  /// Nominal unit current I0 = vds_unit / R.
+  double unit_current_a() const noexcept {
+    return config_.cell.vds_unit_v / config_.cell.resistance_ohm;
+  }
+
+  /// Programs one row with a data vector (element values index the
+  /// encoding's stored rows). values.size() must equal dims().
+  void program_row(std::size_t row, std::span<const int> values);
+
+  /// Stored element value of a row (what was programmed).
+  int stored_value(std::size_t row, std::size_t dim) const {
+    return stored_values_[row * dims_ + dim];
+  }
+
+  /// Runs the search phase for a query vector (element values index the
+  /// encoding's search rows). Returns the per-row ScL currents [A].
+  std::vector<double> search(std::span<const int> query) const;
+
+  /// Ideal integer distance the array should report for (query, row),
+  /// from the encoding alone (no devices) — the software reference.
+  int nominal_distance(std::span<const int> query, std::size_t row) const;
+
+  /// Post-variation threshold voltage of one device (for tests/analysis).
+  double device_vth(std::size_t row, std::size_t dim, std::size_t fefet) const;
+
+  /// Post-variation series resistance of one device.
+  double device_resistance(std::size_t row, std::size_t dim,
+                           std::size_t fefet) const;
+
+ private:
+  std::size_t device_index(std::size_t row, std::size_t dim,
+                           std::size_t fefet) const noexcept {
+    return (row * dims_ + dim) * fefets_per_cell_ + fefet;
+  }
+  double cell_current(std::size_t dev, double vgs_v, double vds_v) const;
+  double row_current(std::size_t row, std::span<const double> vgs,
+                     std::span<const double> vds) const;
+
+  std::size_t rows_;
+  std::size_t dims_;
+  std::size_t fefets_per_cell_;
+  encode::CellEncoding encoding_;
+  device::VoltageLadder ladder_;
+  CrossbarConfig config_;
+
+  std::vector<double> vth_offsets_;   ///< per-device D2D Vth offset
+  std::vector<double> resistances_;   ///< per-device series R (with spread)
+  std::vector<double> vth_;           ///< programmed Vth (incl. offset)
+  std::vector<int> stored_values_;    ///< per (row, dim) element value
+};
+
+}  // namespace ferex::circuit

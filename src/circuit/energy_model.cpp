@@ -1,0 +1,63 @@
+#include "circuit/energy_model.hpp"
+
+namespace ferex::circuit {
+
+EnergyDelayModel::EnergyDelayModel(device::CellParams cell,
+                                   ParasiticParams parasitics,
+                                   OpAmpParams opamp, LtaParams lta,
+                                   PeripheryParams periphery)
+    : cell_(cell),
+      parasitics_(parasitics),
+      opamp_(opamp),
+      lta_(lta),
+      periphery_(periphery) {}
+
+SearchCost EnergyDelayModel::search_op(const SearchOpSpec& spec) const {
+  SearchCost cost;
+  const std::size_t device_cols = spec.dims * spec.fefets_per_cell;
+  const Parasitics para(spec.rows, device_cols, parasitics_);
+  const InterfaceCircuit opamp(opamp_);
+  const LtaCircuit lta(lta_);
+
+  // --- Delay ---
+  cost.scl_settle_s = opamp.settle_time_s(para.scl_cap_f());
+  cost.lta_delay_s = lta.delay_s(spec.rows);
+  const double t_total = cost.scl_settle_s + cost.lta_delay_s;
+
+  // --- Array conduction energy: I * V * t over all conducting devices ---
+  const double unit_i = cell_.vds_unit_v / cell_.resistance_ohm;
+  const double devices =
+      static_cast<double>(spec.rows) * static_cast<double>(device_cols);
+  const double on_devices = devices * spec.avg_on_fraction;
+  const double avg_vds = cell_.vds_unit_v * spec.avg_vds_multiple;
+  const double avg_i = unit_i * spec.avg_vds_multiple;
+  cost.array_energy_j = on_devices * avg_i * avg_vds * t_total;
+
+  // --- Driver energy: charging every DL and SL once per search (CV^2) ---
+  const double v_drive = cell_.vds_unit_v * spec.avg_vds_multiple;
+  const double v_gate = 1.0;  // representative SL swing
+  cost.driver_energy_j =
+      static_cast<double>(device_cols) *
+      (para.dl_cap_f() * v_drive * v_drive + para.dl_cap_f() * v_gate * v_gate);
+
+  // --- Row op-amps: static power over the whole search ---
+  cost.opamp_energy_j =
+      static_cast<double>(spec.rows) * opamp.energy_j(t_total);
+
+  // --- LTA: core power amortizes across rows ---
+  cost.lta_energy_j = lta.energy_j(spec.rows, cost.lta_delay_s);
+
+  // --- Fixed periphery (decoder, switch matrix, DACs, Vs/LTA supply):
+  //     row-count independent, so its per-bit share shrinks as the array
+  //     grows — the dominant Fig. 6(a) effect. ---
+  cost.periphery_energy_j = periphery_.static_power_w * t_total;
+
+  return cost;
+}
+
+double EnergyDelayModel::throughput_qps(const SearchOpSpec& spec) const {
+  const double delay = search_op(spec).total_delay_s();
+  return delay > 0.0 ? 1.0 / delay : 0.0;
+}
+
+}  // namespace ferex::circuit

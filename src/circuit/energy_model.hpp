@@ -1,0 +1,90 @@
+// Search energy & delay model (Fig. 6).
+//
+// One FeReX search op consists of: drain/search-line drivers charging the
+// array, cell currents flowing for the sense duration, the per-row op-amp
+// clamps holding the ScLs, and the LTA comparison. The paper reports:
+//   * energy/bit DECREASES with row count (the LTA and driver overheads
+//     amortize over more stored bits — "LTA power grows insignificantly
+//     as the number of rows increases");
+//   * total delay INCREASES gradually with array size, ~60 % of it from
+//     ScL settling limited by the op-amp slew rate.
+// This model reproduces those scaling laws from circuit quantities; the
+// absolute constants are calibrated to the magnitudes typical of 45 nm
+// CiM arrays rather than fitted to the paper's (unlabeled) axes.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/interface.hpp"
+#include "circuit/lta.hpp"
+#include "circuit/parasitics.hpp"
+#include "device/one_fefet_one_r.hpp"
+
+namespace ferex::circuit {
+
+/// Geometry + operating point of one search op.
+struct SearchOpSpec {
+  std::size_t rows = 64;          ///< stored vectors
+  std::size_t dims = 128;         ///< elements (cells) per vector
+  std::size_t fefets_per_cell = 3;
+  std::size_t bits_per_cell = 2;  ///< data bits encoded per cell
+  double avg_on_fraction = 0.5;   ///< fraction of devices conducting
+  double avg_vds_multiple = 1.5;  ///< mean drain multiple of ON devices
+};
+
+/// Fixed periphery of one FeReX macro: input decoder, column switch
+/// matrix, drain-voltage selector DACs and the Vs/LTA supply block
+/// (Fig. 2a). Its static power is independent of the row count — the
+/// component whose amortization makes energy/bit fall as rows grow
+/// (Fig. 6a).
+struct PeripheryParams {
+  double static_power_w = 500e-6;
+};
+
+/// Per-phase breakdown of one search operation.
+struct SearchCost {
+  double array_energy_j = 0.0;     ///< cell conduction energy
+  double driver_energy_j = 0.0;    ///< DL/SL charging (CV^2)
+  double opamp_energy_j = 0.0;     ///< row interface clamps
+  double lta_energy_j = 0.0;       ///< loser-take-all comparison
+  double periphery_energy_j = 0.0; ///< decoder/DAC/supply fixed block
+  double scl_settle_s = 0.0;       ///< op-amp-limited ScL settling
+  double lta_delay_s = 0.0;        ///< LTA decision time
+
+  double total_energy_j() const noexcept {
+    return array_energy_j + driver_energy_j + opamp_energy_j + lta_energy_j +
+           periphery_energy_j;
+  }
+  double total_delay_s() const noexcept { return scl_settle_s + lta_delay_s; }
+
+  /// Average search energy per stored bit — the Fig. 6(a) metric.
+  double energy_per_bit_j(const SearchOpSpec& spec) const noexcept {
+    const double bits = static_cast<double>(spec.rows) *
+                        static_cast<double>(spec.dims) *
+                        static_cast<double>(spec.bits_per_cell);
+    return bits > 0.0 ? total_energy_j() / bits : 0.0;
+  }
+};
+
+/// Analytical model combining the periphery sub-models.
+class EnergyDelayModel {
+ public:
+  EnergyDelayModel(device::CellParams cell = {}, ParasiticParams parasitics = {},
+                   OpAmpParams opamp = {}, LtaParams lta = {},
+                   PeripheryParams periphery = {});
+
+  /// Cost of one search op over the given geometry.
+  SearchCost search_op(const SearchOpSpec& spec) const;
+
+  /// Search throughput [queries/s] implied by the delay.
+  double throughput_qps(const SearchOpSpec& spec) const;
+
+ private:
+  device::CellParams cell_;
+  ParasiticParams parasitics_;
+  OpAmpParams opamp_;
+  LtaParams lta_;
+  PeripheryParams periphery_;
+};
+
+}  // namespace ferex::circuit

@@ -1,0 +1,28 @@
+#include "circuit/interface.hpp"
+
+#include <cmath>
+
+namespace ferex::circuit {
+
+double InterfaceCircuit::settle_time_s(double cap_f) const noexcept {
+  // Slewing: the op-amp output charges the ScL load at its slew rate;
+  // larger arrays (more columns) load the line more, slowing this phase
+  // proportionally to the capacitance.
+  //
+  // The effective slew rate degrades with load beyond the amp's design
+  // capacitance C0: SR_eff = SR / (1 + C/C0).
+  constexpr double kDesignLoadF = 200e-15;
+  const double sr_eff =
+      params_.slew_rate_v_per_s / (1.0 + cap_f / kDesignLoadF);
+  const double t_slew = params_.settle_swing_v / sr_eff;
+
+  // Linear settling: single-pole response at the closed-loop bandwidth,
+  // also degraded by the load; settle to settle_accuracy.
+  const double bw_eff = params_.unity_gain_bw_hz / (1.0 + cap_f / kDesignLoadF);
+  const double tau = 1.0 / (2.0 * M_PI * bw_eff);
+  const double t_linear = tau * std::log(1.0 / params_.settle_accuracy);
+
+  return t_slew + t_linear;
+}
+
+}  // namespace ferex::circuit

@@ -1,0 +1,53 @@
+// Row interface circuit (Fig. 2c): MUX + op-amp source-line clamp.
+//
+// During search the op-amp holds every ScL at the virtual source voltage
+// so the Vds across each cell stays exact; otherwise the row current
+// lifting the ScL potential would shrink Vds and corrupt the
+// current-domain distance sum (Sec. III-A). The op-amp's slew rate limits
+// how fast the ScL settles — the paper attributes ~60 % of total search
+// delay to this phase.
+#pragma once
+
+#include "circuit/parasitics.hpp"
+
+namespace ferex::circuit {
+
+struct OpAmpParams {
+  /// Output slew rate [V/s]; the paper uses the slew-rate-enhanced
+  /// two-stage amplifier of Kassiri (ISCAS'13) scaled to 45 nm.
+  double slew_rate_v_per_s = 150e6;
+  double unity_gain_bw_hz = 500e6;   ///< closed-loop bandwidth [Hz]
+  double output_res_ohm = 200.0;     ///< residual closed-loop output R
+  double static_power_w = 4e-6;      ///< per-row op-amp static power
+  double settle_swing_v = 0.3;       ///< worst-case ScL excursion to slew
+  double settle_accuracy = 1e-3;     ///< linear-settling accuracy target
+};
+
+/// Behavioral op-amp clamp + settling model.
+class InterfaceCircuit {
+ public:
+  explicit InterfaceCircuit(OpAmpParams params = {}) : params_(params) {}
+
+  const OpAmpParams& params() const noexcept { return params_; }
+
+  /// Residual ScL voltage for a given row current: the clamp is not
+  /// ideal, the row current through the closed-loop output resistance
+  /// lifts the virtual node slightly.
+  double residual_scl_voltage(double row_current_a) const noexcept {
+    return row_current_a * params_.output_res_ohm;
+  }
+
+  /// Settling time of one ScL with capacitive load `cap_f`:
+  /// slewing phase + linear settling to `settle_accuracy`.
+  double settle_time_s(double cap_f) const noexcept;
+
+  /// Energy drawn by one op-amp during a search of duration t.
+  double energy_j(double duration_s) const noexcept {
+    return params_.static_power_w * duration_s;
+  }
+
+ private:
+  OpAmpParams params_;
+};
+
+}  // namespace ferex::circuit

@@ -1,0 +1,82 @@
+#include "circuit/lta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ferex::circuit {
+
+LtaDecision LtaCircuit::decide(std::span<const double> row_currents_a,
+                               double unit_current_a, util::Rng* rng) const {
+  if (row_currents_a.empty()) {
+    throw std::invalid_argument("LtaCircuit::decide: no rows");
+  }
+  LtaDecision decision;
+  double best = std::numeric_limits<double>::infinity();
+  double second = std::numeric_limits<double>::infinity();
+  const double sigma = params_.offset_sigma_rel * unit_current_a;
+  for (std::size_t r = 0; r < row_currents_a.size(); ++r) {
+    double sensed = row_currents_a[r];
+    if (rng != nullptr && sigma > 0.0) sensed += rng->gaussian(0.0, sigma);
+    if (sensed < best) {
+      second = best;
+      best = sensed;
+      decision.winner = r;
+    } else if (sensed < second) {
+      second = sensed;
+    }
+  }
+  decision.winner_current_a = best;
+  decision.margin_a = (row_currents_a.size() > 1) ? second - best : 0.0;
+  return decision;
+}
+
+std::vector<std::size_t> LtaCircuit::decide_k(
+    std::span<const double> row_currents_a, double unit_current_a,
+    std::size_t k, util::Rng* rng) const {
+  if (k == 0 || k > row_currents_a.size()) {
+    throw std::invalid_argument("LtaCircuit::decide_k: bad k");
+  }
+  std::vector<double> currents(row_currents_a.begin(), row_currents_a.end());
+  std::vector<std::size_t> winners;
+  winners.reserve(k);
+  for (std::size_t round = 0; round < k; ++round) {
+    const LtaDecision d = decide(currents, unit_current_a, rng);
+    winners.push_back(d.winner);
+    // Mask the winner for subsequent rounds (post-decoder disables the
+    // row branch).
+    currents[d.winner] = std::numeric_limits<double>::infinity();
+  }
+  return winners;
+}
+
+LtaDecision LtaCircuit::decide_max(std::span<const double> row_currents_a,
+                                   double unit_current_a,
+                                   util::Rng* rng) const {
+  if (row_currents_a.empty()) {
+    throw std::invalid_argument("LtaCircuit::decide_max: no rows");
+  }
+  // WTA over currents == LTA over negated currents; the comparator noise
+  // model is symmetric.
+  std::vector<double> negated(row_currents_a.size());
+  for (std::size_t r = 0; r < row_currents_a.size(); ++r) {
+    negated[r] = -row_currents_a[r];
+  }
+  LtaDecision d = decide(negated, unit_current_a, rng);
+  d.winner_current_a = -d.winner_current_a;
+  return d;
+}
+
+double LtaCircuit::delay_s(std::size_t rows) const noexcept {
+  const double lg = rows > 1 ? std::log2(static_cast<double>(rows)) : 0.0;
+  return params_.base_delay_s + params_.delay_per_log2_row_s * lg;
+}
+
+double LtaCircuit::energy_j(std::size_t rows, double duration_s) const noexcept {
+  const double power =
+      params_.core_power_w + params_.per_row_power_w * static_cast<double>(rows);
+  return power * duration_s;
+}
+
+}  // namespace ferex::circuit

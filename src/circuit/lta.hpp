@@ -1,0 +1,73 @@
+// Loser-Take-All (LTA) circuit — the nearest-neighbor detector.
+//
+// The LTA compares the aggregated ScL currents of all rows and flags the
+// row with the MINIMUM current, i.e. the stored vector at the smallest
+// distance from the query (Sec. III-A; current-domain WTA dual, cf.
+// CoSiME ICCAD'22). Real comparators have input-referred offset, modeled
+// as per-row Gaussian current noise; that offset is what limits sensing
+// when two rows' distances differ by one unit current.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ferex::circuit {
+
+struct LtaParams {
+  /// Comparator input-referred offset, relative to the unit current I0.
+  double offset_sigma_rel = 0.03;
+  /// Static power of the shared comparison core [W].
+  double core_power_w = 12e-6;
+  /// Incremental power per competing row branch [W] (grows only weakly
+  /// with rows — the paper notes LTA power is insignificant at scale).
+  double per_row_power_w = 0.15e-6;
+  /// Base decision delay plus a logarithmic term in the row count [s].
+  double base_delay_s = 2.0e-9;
+  double delay_per_log2_row_s = 0.5e-9;
+};
+
+/// Result of one LTA decision.
+struct LtaDecision {
+  std::size_t winner = 0;          ///< row index with minimum sensed current
+  double winner_current_a = 0.0;   ///< sensed (noisy) current of the winner
+  double margin_a = 0.0;           ///< gap to the runner-up (sensed)
+};
+
+class LtaCircuit {
+ public:
+  explicit LtaCircuit(LtaParams params = {}) : params_(params) {}
+
+  const LtaParams& params() const noexcept { return params_; }
+
+  /// Picks the minimum-current row. `unit_current_a` scales the offset
+  /// noise; pass rng = nullptr for an ideal (noiseless) decision.
+  LtaDecision decide(std::span<const double> row_currents_a,
+                     double unit_current_a, util::Rng* rng) const;
+
+  /// k-NN extension: repeatedly applies the LTA, masking previous
+  /// winners (the paper's LTA + post-decoder supports NN search; k > 1 is
+  /// realized by iterative masking). Returns row indices, nearest first.
+  std::vector<std::size_t> decide_k(std::span<const double> row_currents_a,
+                                    double unit_current_a, std::size_t k,
+                                    util::Rng* rng) const;
+
+  /// Winner-take-all dual: picks the MAXIMUM-current row. Used when the
+  /// row current encodes similarity instead of distance (best-match /
+  /// cosine-style AMs, cf. Table I's IEDM'20 row and CoSiME).
+  LtaDecision decide_max(std::span<const double> row_currents_a,
+                         double unit_current_a, util::Rng* rng) const;
+
+  /// Decision delay for an array with `rows` competing branches.
+  double delay_s(std::size_t rows) const noexcept;
+
+  /// Energy of one decision over `rows` branches taking `duration_s`.
+  double energy_j(std::size_t rows, double duration_s) const noexcept;
+
+ private:
+  LtaParams params_;
+};
+
+}  // namespace ferex::circuit

@@ -1,0 +1,28 @@
+#include "circuit/parasitics.hpp"
+
+namespace ferex::circuit {
+
+Parasitics::Parasitics(std::size_t rows, std::size_t device_columns,
+                       ParasiticParams params)
+    : rows_(rows), device_columns_(device_columns), params_(params) {}
+
+double Parasitics::scl_cap_f() const noexcept {
+  const double length_um =
+      static_cast<double>(device_columns_) * params_.cell_pitch_um;
+  return length_um * params_.wire_cap_f_per_um +
+         static_cast<double>(device_columns_) * params_.junction_cap_f;
+}
+
+double Parasitics::scl_res_ohm() const noexcept {
+  const double length_um =
+      static_cast<double>(device_columns_) * params_.cell_pitch_um;
+  return length_um * params_.wire_res_ohm_per_um;
+}
+
+double Parasitics::dl_cap_f() const noexcept {
+  const double length_um = static_cast<double>(rows_) * params_.cell_pitch_um;
+  return length_um * params_.wire_cap_f_per_um +
+         static_cast<double>(rows_) * params_.junction_cap_f;
+}
+
+}  // namespace ferex::circuit

@@ -1,0 +1,53 @@
+// Analytical wiring-parasitics model (stand-in for DESTINY @ 45 nm).
+//
+// FeReX's delay and energy scaling with array size is set by the RC load
+// on the source lines (ScL, one per row, crossing all cells of the row)
+// and the drain lines (DL, one per FeFET column, crossing all rows).
+// We use per-micrometre wire constants typical of a 45 nm intermediate
+// metal layer plus per-device junction loading.
+#pragma once
+
+#include <cstddef>
+
+namespace ferex::circuit {
+
+struct ParasiticParams {
+  double cell_pitch_um = 0.6;        ///< 1FeFET1R cell pitch (BEOL resistor)
+  double wire_cap_f_per_um = 0.20e-15;   ///< wire capacitance [F/um]
+  double wire_res_ohm_per_um = 2.5;      ///< wire resistance [ohm/um]
+  double junction_cap_f = 0.08e-15;      ///< per-device drain/source load [F]
+};
+
+/// RC totals for one FeReX array instance.
+class Parasitics {
+ public:
+  /// @param rows            stored vectors (array rows)
+  /// @param device_columns  total FeFET columns = dims * fefets_per_cell
+  Parasitics(std::size_t rows, std::size_t device_columns,
+             ParasiticParams params = {});
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t device_columns() const noexcept { return device_columns_; }
+  const ParasiticParams& params() const noexcept { return params_; }
+
+  /// Total capacitance loading one source line (one row). Grows with the
+  /// number of device columns.
+  double scl_cap_f() const noexcept;
+
+  /// Total series resistance of one source line.
+  double scl_res_ohm() const noexcept;
+
+  /// Total capacitance loading one drain line (one device column). Grows
+  /// with the number of rows.
+  double dl_cap_f() const noexcept;
+
+  /// Elmore-style RC time constant of the source line.
+  double scl_tau_s() const noexcept { return 0.5 * scl_res_ohm() * scl_cap_f(); }
+
+ private:
+  std::size_t rows_;
+  std::size_t device_columns_;
+  ParasiticParams params_;
+};
+
+}  // namespace ferex::circuit

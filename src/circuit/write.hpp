@@ -1,0 +1,72 @@
+// Write/erase path of the FeReX array (Sec. III-A write phase).
+//
+// During programming, the interface MUX routes the row lines (RLs):
+// the selected row's RL is 0 V while unselected rows are raised to
+// Vwrite/2 — the half-voltage write-inhibit scheme that keeps the
+// effective gate pulse on unselected cells below the coercive voltage
+// (Ni et al., EDL'18: write disturb in FeFET arrays).
+//
+// This module models the cost and integrity of that phase:
+//   * per-row programming latency (erase + program-verify pulse trains
+//     through the Preisach device model);
+//   * programming energy (gate-line charging per pulse + polarization
+//     switching work);
+//   * disturb accounting: the cumulative half-voltage pulse exposure of
+//     unselected rows, and the worst-case Vth drift it causes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "device/preisach.hpp"
+
+namespace ferex::circuit {
+
+struct WriteDriverParams {
+  device::PreisachParams device{};
+  double gate_cap_f = 0.12e-15;        ///< FeFET gate capacitance [F]
+  double wordline_cap_f_per_cell = 0.25e-15;  ///< SL wiring load per cell
+  double verify_read_s = 20e-9;        ///< one verify read after a pulse
+  double verify_read_energy_j = 5e-15; ///< energy of one verify read
+  double vth_tolerance_v = 5e-3;       ///< program-verify target accuracy
+};
+
+/// Cost summary of programming one row of cells.
+struct WriteCost {
+  std::size_t pulses = 0;        ///< total programming pulses issued
+  double latency_s = 0.0;        ///< erase + pulse train + verify reads
+  double energy_j = 0.0;         ///< drivers + switching + verify
+};
+
+/// Integrity summary for the rest of the array while one row is written.
+struct DisturbReport {
+  double inhibit_voltage_v = 0.0;   ///< Vwrite/2 seen by unselected rows
+  double max_vth_drift_v = 0.0;     ///< worst Vth movement on victims
+  bool disturb_free = false;        ///< true iff drift is exactly zero
+};
+
+class WriteDriver {
+ public:
+  explicit WriteDriver(WriteDriverParams params = {});
+
+  const WriteDriverParams& params() const noexcept { return params_; }
+
+  /// Programs one row of `targets` (per-device target Vth) through the
+  /// Preisach program-and-verify flow; returns its cost. `row_cells` is
+  /// the number of devices sharing the row's wordline load.
+  WriteCost program_row(std::span<const double> target_vths) const;
+
+  /// Simulates `cycles` full-row writes with the half-voltage inhibit
+  /// scheme and reports the worst-case disturb on unselected victims.
+  DisturbReport disturb_after(std::size_t cycles) const;
+
+  /// Erase-then-program latency estimate for an entire array.
+  WriteCost program_array(std::size_t rows,
+                          std::span<const double> row_targets) const;
+
+ private:
+  WriteDriverParams params_;
+};
+
+}  // namespace ferex::circuit

@@ -1,0 +1,250 @@
+#include "core/ferex.hpp"
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace ferex::core {
+
+FerexEngine::FerexEngine(FerexOptions options)
+    : options_(options), rng_(options.seed), lta_(options.lta) {}
+
+void FerexEngine::configure(csp::DistanceMetric metric, int bits) {
+  metric_ = metric;
+  bits_ = bits;
+  configure(csp::DistanceMatrix::make(metric, bits));
+}
+
+void FerexEngine::configure(const csp::DistanceMatrix& dm) {
+  report_ = {};
+  auto encoding = encode::encode_distance_matrix(dm, options_.encoder, &report_);
+  if (!encoding) {
+    throw std::runtime_error("FerexEngine: no feasible encoding for " +
+                             dm.name() + " within encoder limits");
+  }
+  dm_ = dm;
+  encoding_ = std::move(*encoding);
+  codec_.reset();  // monolithic path: one cell per element
+  if (!database_.empty()) rebuild_array();
+}
+
+void FerexEngine::configure_composite(csp::DistanceMetric metric, int bits) {
+  report_ = {};
+  auto composite =
+      encode::make_composite_encoding(metric, bits, options_.encoder);
+  if (!composite) {
+    throw std::runtime_error(
+        "FerexEngine: no composite encoding for " + csp::to_string(metric) +
+        " (metric not digit-separable, or base cell infeasible)");
+  }
+  metric_ = metric;
+  bits_ = bits;
+  dm_ = csp::DistanceMatrix::make(metric, bits);
+  encoding_ = std::move(composite->base);
+  codec_ = std::move(composite->codec);
+  report_.fefets_per_cell =
+      static_cast<int>(encoding_->fefets_per_cell() * codec_->subcells());
+  if (!database_.empty()) rebuild_array();
+}
+
+void FerexEngine::store(std::vector<std::vector<int>> database) {
+  if (database.empty()) {
+    throw std::invalid_argument("FerexEngine::store: empty database");
+  }
+  const std::size_t dims = database.front().size();
+  if (dims == 0) {
+    throw std::invalid_argument("FerexEngine::store: zero-length vectors");
+  }
+  for (const auto& row : database) {
+    if (row.size() != dims) {
+      throw std::invalid_argument("FerexEngine::store: ragged database");
+    }
+  }
+  database_ = std::move(database);
+  if (encoding_) rebuild_array();
+}
+
+void FerexEngine::rebuild_array() {
+  // Shrink the ladder pitch when the encoding needs many levels, so the
+  // highest threshold stays inside the device's programmable window (the
+  // narrower margin is the physical cost of more levels per cell).
+  const double vth_headroom =
+      options_.circuit.fet.vth_max_v - options_.ladder_base_v - 0.05;
+  const double max_step =
+      vth_headroom / static_cast<double>(encoding_->ladder_levels());
+  const double step = std::min(options_.ladder_step_v, max_step);
+  const device::VoltageLadder ladder(encoding_->ladder_levels(),
+                                     options_.ladder_base_v, step);
+  const std::size_t physical_dims =
+      database_.front().size() * (codec_ ? codec_->subcells() : 1);
+  array_ = std::make_unique<circuit::CrossbarArray>(
+      database_.size(), physical_dims, *encoding_, ladder, options_.circuit,
+      rng_);
+  for (std::size_t r = 0; r < database_.size(); ++r) {
+    if (codec_) {
+      array_->program_row(r, codec_->expand(database_[r]));
+    } else {
+      array_->program_row(r, database_[r]);
+    }
+  }
+}
+
+SearchResult FerexEngine::search(std::span<const int> query) {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::search: configure() + store() first");
+  }
+  std::vector<int> expanded;
+  if (codec_) {
+    expanded = codec_->expand(query);
+    query = expanded;
+  }
+  SearchResult result;
+  if (options_.fidelity == SearchFidelity::kCircuit) {
+    const auto currents = array_->search(query);
+    const auto decision =
+        lta_.decide(currents, array_->unit_current_a(), &rng_);
+    result.nearest = decision.winner;
+    result.winner_current_a = decision.winner_current_a;
+    result.margin_a = decision.margin_a;
+  } else {
+    // Nominal fidelity: exact integer distance arithmetic, ideal LTA.
+    std::vector<double> currents(database_.size());
+    for (std::size_t r = 0; r < database_.size(); ++r) {
+      currents[r] = static_cast<double>(array_->nominal_distance(query, r));
+    }
+    const auto decision = lta_.decide(currents, 1.0, nullptr);
+    result.nearest = decision.winner;
+    result.winner_current_a = decision.winner_current_a;
+    result.margin_a = decision.margin_a;
+  }
+  result.nominal_distance =
+      array_->nominal_distance(query, result.nearest);
+  return result;
+}
+
+std::vector<std::size_t> FerexEngine::search_k(std::span<const int> query,
+                                               std::size_t k) {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::search_k: configure() + store() first");
+  }
+  std::vector<int> expanded;
+  if (codec_) {
+    expanded = codec_->expand(query);
+    query = expanded;
+  }
+  if (options_.fidelity == SearchFidelity::kCircuit) {
+    const auto currents = array_->search(query);
+    return lta_.decide_k(currents, array_->unit_current_a(), k, &rng_);
+  }
+  std::vector<double> currents(database_.size());
+  for (std::size_t r = 0; r < database_.size(); ++r) {
+    currents[r] = static_cast<double>(array_->nominal_distance(query, r));
+  }
+  return lta_.decide_k(currents, 1.0, k, nullptr);
+}
+
+std::vector<double> FerexEngine::row_currents(std::span<const int> query) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::row_currents: configure() + store() first");
+  }
+  std::vector<int> expanded;
+  if (codec_) {
+    expanded = codec_->expand(query);
+    query = expanded;
+  }
+  if (options_.fidelity == SearchFidelity::kCircuit) {
+    return array_->search(query);
+  }
+  std::vector<double> currents(database_.size());
+  for (std::size_t r = 0; r < database_.size(); ++r) {
+    currents[r] = static_cast<double>(array_->nominal_distance(query, r));
+  }
+  return currents;
+}
+
+double FerexEngine::sense_unit() const {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::sense_unit: nothing stored");
+  }
+  return options_.fidelity == SearchFidelity::kCircuit
+             ? array_->unit_current_a()
+             : 1.0;
+}
+
+int FerexEngine::software_distance(std::span<const int> query,
+                                   std::size_t row) const {
+  if (row >= database_.size()) {
+    throw std::out_of_range("FerexEngine::software_distance: row");
+  }
+  const auto& stored = database_[row];
+  if (query.size() != stored.size()) {
+    throw std::invalid_argument("FerexEngine::software_distance: length");
+  }
+  int total = 0;
+  for (std::size_t d = 0; d < stored.size(); ++d) {
+    // For custom DMs fall back to the matrix entry; for standard metrics
+    // this equals reference_distance.
+    total += dm_->at(static_cast<std::size_t>(query[d]),
+                     static_cast<std::size_t>(stored[d]));
+  }
+  return total;
+}
+
+circuit::SearchCost FerexEngine::search_cost() const {
+  if (!encoding_ || database_.empty()) {
+    throw std::logic_error("FerexEngine::search_cost: nothing stored");
+  }
+  circuit::SearchOpSpec spec;
+  spec.rows = database_.size();
+  spec.dims = database_.front().size() * (codec_ ? codec_->subcells() : 1);
+  spec.fefets_per_cell = encoding_->fefets_per_cell();
+  spec.bits_per_cell = bits_ > 0 ? static_cast<std::size_t>(bits_) : 1;
+  spec.avg_vds_multiple = 0.5 * (1.0 + encoding_->max_vds_multiple());
+  const circuit::EnergyDelayModel model(options_.circuit.cell,
+                                        options_.parasitics,
+                                        options_.circuit.opamp, options_.lta);
+  return model.search_op(spec);
+}
+
+circuit::WriteCost FerexEngine::program_cost() const {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::program_cost: nothing stored");
+  }
+  circuit::WriteDriverParams params;
+  params.device.vth_low_v = options_.circuit.fet.vth_min_v;
+  params.device.vth_high_v = options_.circuit.fet.vth_max_v;
+  params.vth_tolerance_v = options_.circuit.program_tolerance_v;
+  const circuit::WriteDriver driver(params);
+
+  circuit::WriteCost total;
+  std::vector<double> targets;
+  targets.reserve(array_->dims() * array_->fefets_per_cell());
+  for (std::size_t r = 0; r < array_->rows(); ++r) {
+    targets.clear();
+    for (std::size_t d = 0; d < array_->dims(); ++d) {
+      const auto value = static_cast<std::size_t>(array_->stored_value(r, d));
+      for (std::size_t i = 0; i < array_->fefets_per_cell(); ++i) {
+        const auto level =
+            static_cast<std::size_t>(encoding_->store_level(value, i));
+        targets.push_back(array_->ladder().vth(level));
+      }
+    }
+    const auto row_cost = driver.program_row(targets);
+    total.pulses += row_cost.pulses;
+    total.energy_j += row_cost.energy_j;
+    total.latency_s += row_cost.latency_s;
+  }
+  return total;
+}
+
+const encode::CellEncoding& FerexEngine::encoding() const {
+  if (!encoding_) throw std::logic_error("FerexEngine: not configured");
+  return *encoding_;
+}
+
+const csp::DistanceMatrix& FerexEngine::distance_matrix() const {
+  if (!dm_) throw std::logic_error("FerexEngine: not configured");
+  return *dm_;
+}
+
+}  // namespace ferex::core

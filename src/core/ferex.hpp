@@ -1,0 +1,154 @@
+// FeReX — the reconfigurable in-memory nearest-neighbor search engine
+// (the paper's primary contribution, Sec. III).
+//
+// Usage:
+//   core::FerexEngine engine(options);
+//   engine.configure(csp::DistanceMetric::kHamming, /*bits=*/2);
+//   engine.store(database);                  // programs the crossbar
+//   auto r = engine.search(query);           // LTA nearest neighbor
+//   engine.configure(csp::DistanceMetric::kManhattan, 2);  // re-encode,
+//   // same stored data, new distance function — no new hardware.
+//
+// configure() runs the CSP encoder (Algorithm 1 + Fig. 5 post-processing)
+// for the requested metric, derives the voltage ladder, and re-programs
+// the stored vectors under the new encoding. search() drives the
+// simulated crossbar and LTA; searches can run at circuit fidelity
+// (device currents, variation, comparator noise) or at nominal fidelity
+// (integer current arithmetic the circuit is verified against).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/energy_model.hpp"
+#include "circuit/lta.hpp"
+#include "circuit/write.hpp"
+#include "csp/distance_matrix.hpp"
+#include "encode/composite.hpp"
+#include "encode/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::core {
+
+/// How faithfully search() models the hardware.
+enum class SearchFidelity {
+  kCircuit,  ///< device-level currents + variation + LTA offset noise
+  kNominal,  ///< exact integer current arithmetic (verified equivalent)
+};
+
+struct FerexOptions {
+  encode::EncoderOptions encoder{};
+  circuit::CrossbarConfig circuit{};
+  circuit::LtaParams lta{};
+  circuit::ParasiticParams parasitics{};
+  /// Base voltage of the Vs/Vt ladder and its pitch (margin = pitch / 2).
+  double ladder_base_v = 0.2;
+  double ladder_step_v = 0.6;
+  SearchFidelity fidelity = SearchFidelity::kCircuit;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Result of one nearest-neighbor query.
+struct SearchResult {
+  std::size_t nearest = 0;            ///< winning row index
+  double winner_current_a = 0.0;      ///< sensed current of the winner
+  double margin_a = 0.0;              ///< sensed gap to the runner-up
+  int nominal_distance = 0;           ///< encoding-level distance of winner
+};
+
+class FerexEngine {
+ public:
+  explicit FerexEngine(FerexOptions options = {});
+
+  /// Configures (or re-configures) the distance function. Runs the CSP
+  /// encoder; re-programs any stored data under the new encoding.
+  /// Throws std::runtime_error if no feasible encoding exists within the
+  /// encoder limits.
+  void configure(csp::DistanceMetric metric, int bits);
+
+  /// Configures from an arbitrary custom distance matrix.
+  void configure(const csp::DistanceMatrix& dm);
+
+  /// Configures through a composite (digit-decomposed) encoding — the
+  /// scalable path for separable metrics at bit widths the exact CSP
+  /// cannot reach (bit-sliced Hamming up to 8 bits, thermometer Manhattan
+  /// up to 6 bits). Each logical element occupies codec.subcells()
+  /// physical cells; searches and programming are transparent.
+  /// Throws std::runtime_error for non-separable metrics (Euclidean).
+  void configure_composite(csp::DistanceMetric metric, int bits);
+
+  /// Active codec when configured via configure_composite (else nullptr).
+  const encode::ValueCodec* codec() const noexcept {
+    return codec_ ? &*codec_ : nullptr;
+  }
+
+  /// Stores a database of vectors (all of equal length; element values in
+  /// [0, 2^bits)). Replaces any previous contents and programs the array.
+  void store(std::vector<std::vector<int>> database);
+
+  /// Nearest-neighbor search. Requires configure() and store().
+  SearchResult search(std::span<const int> query);
+
+  /// k-nearest rows, nearest first (iterative LTA with masking).
+  std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
+
+  /// Raw sensed row currents for a query (codec-expanded; at nominal
+  /// fidelity these are exact distances). Building block for multi-macro
+  /// architectures that place their own comparator across banks.
+  std::vector<double> row_currents(std::span<const int> query) const;
+
+  /// The unit in which row_currents() is expressed: the cell unit current
+  /// at circuit fidelity, 1.0 (distance units) at nominal fidelity.
+  double sense_unit() const;
+
+  /// Exact software distance between the query and a stored row under the
+  /// configured metric (the verification reference).
+  int software_distance(std::span<const int> query, std::size_t row) const;
+
+  /// Energy/delay of one search op on the current geometry (Fig. 6 model).
+  circuit::SearchCost search_cost() const;
+
+  /// Cost of programming the whole stored database (erase + program-and-
+  /// verify pulse trains per device, rows written sequentially). The
+  /// write path is the price of reconfiguration: re-encoding the same
+  /// data under a new metric pays this once.
+  circuit::WriteCost program_cost() const;
+
+  bool configured() const noexcept { return encoding_.has_value(); }
+  std::size_t stored_count() const noexcept { return database_.size(); }
+  std::size_t dims() const noexcept {
+    return database_.empty() ? 0 : database_.front().size();
+  }
+
+  const encode::CellEncoding& encoding() const;
+  const encode::EncoderReport& encoder_report() const { return report_; }
+  const csp::DistanceMatrix& distance_matrix() const;
+  csp::DistanceMetric metric() const noexcept { return metric_; }
+  int bits() const noexcept { return bits_; }
+
+  /// Access to the simulated array (nullptr before store()).
+  const circuit::CrossbarArray* array() const noexcept { return array_.get(); }
+
+  FerexOptions& options() noexcept { return options_; }
+
+ private:
+  void rebuild_array();
+
+  FerexOptions options_;
+  util::Rng rng_;
+  csp::DistanceMetric metric_ = csp::DistanceMetric::kHamming;
+  int bits_ = 0;
+  std::optional<csp::DistanceMatrix> dm_;
+  std::optional<encode::CellEncoding> encoding_;
+  std::optional<encode::ValueCodec> codec_;
+  encode::EncoderReport report_{};
+  std::vector<std::vector<int>> database_;
+  std::unique_ptr<circuit::CrossbarArray> array_;
+  circuit::LtaCircuit lta_;
+};
+
+}  // namespace ferex::core

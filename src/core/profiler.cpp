@@ -1,0 +1,68 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ferex::core {
+
+SearchProfile profile_searches(FerexEngine& engine,
+                               std::span<const std::vector<int>> queries,
+                               std::size_t histogram_bins) {
+  if (!engine.configured() || engine.stored_count() == 0) {
+    throw std::logic_error("profile_searches: engine not ready");
+  }
+  if (histogram_bins == 0) {
+    throw std::invalid_argument("profile_searches: histogram_bins == 0");
+  }
+  SearchProfile profile;
+  profile.winner_distance_histogram.assign(histogram_bins, 0);
+  std::size_t agreements = 0;
+
+  for (const auto& query : queries) {
+    const auto currents = engine.row_currents(query);
+    const double unit = engine.sense_unit();
+
+    // Sensed winner and margin.
+    std::size_t winner = 0;
+    double best = std::numeric_limits<double>::infinity();
+    double second = best;
+    for (std::size_t r = 0; r < currents.size(); ++r) {
+      if (currents[r] < best) {
+        second = best;
+        best = currents[r];
+        winner = r;
+      } else if (currents[r] < second) {
+        second = currents[r];
+      }
+    }
+    if (currents.size() > 1) {
+      profile.margin_units.add((second - best) / unit);
+    }
+
+    // Deviation of the winner's sensed current from its nominal distance.
+    const int nominal = engine.software_distance(query, winner);
+    profile.winner_error_units.add(best / unit - nominal);
+
+    // Does the sensed winner achieve the global software minimum?
+    int min_distance = std::numeric_limits<int>::max();
+    for (std::size_t r = 0; r < engine.stored_count(); ++r) {
+      min_distance = std::min(min_distance, engine.software_distance(query, r));
+    }
+    if (nominal == min_distance) ++agreements;
+
+    const auto bin = std::min<std::size_t>(static_cast<std::size_t>(
+                                               std::max(nominal, 0)),
+                                           histogram_bins - 1);
+    ++profile.winner_distance_histogram[bin];
+    ++profile.queries;
+  }
+  profile.argmin_agreement =
+      profile.queries > 0
+          ? static_cast<double>(agreements) /
+                static_cast<double>(profile.queries)
+          : 0.0;
+  return profile;
+}
+
+}  // namespace ferex::core

@@ -1,0 +1,45 @@
+// Search-quality profiler: analysis instrumentation for FeReX workloads.
+//
+// Circuit designers judge an AM deployment by its *margins*: how far the
+// winning row's current sits from the runner-up, and how much the sensed
+// currents deviate from the nominal integer distances. This profiler
+// replays a query workload against an engine at circuit fidelity and
+// aggregates those statistics — the quantities that predict Monte-Carlo
+// accuracy (Fig. 7) without running the full MC.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ferex.hpp"
+#include "util/stats.hpp"
+
+namespace ferex::core {
+
+struct SearchProfile {
+  std::size_t queries = 0;
+
+  /// Sensed winner-to-runner-up margin, in unit currents.
+  util::RunningStats margin_units;
+
+  /// |sensed - nominal| of the winning row, in unit currents (captures
+  /// leakage, clamp error and variation in one number).
+  util::RunningStats winner_error_units;
+
+  /// Fraction of queries where the circuit winner achieves the true
+  /// (software) minimum distance.
+  double argmin_agreement = 0.0;
+
+  /// Histogram of winning nominal distances (index = distance, clipped).
+  std::vector<std::size_t> winner_distance_histogram;
+};
+
+/// Replays `queries` against the engine and aggregates search-quality
+/// statistics. The engine must be configured and loaded; queries are
+/// evaluated at the engine's configured fidelity.
+SearchProfile profile_searches(FerexEngine& engine,
+                               std::span<const std::vector<int>> queries,
+                               std::size_t histogram_bins = 32);
+
+}  // namespace ferex::core

@@ -1,0 +1,118 @@
+#include "csp/binary_csp.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+
+namespace ferex::csp {
+
+BinaryCsp::BinaryCsp(std::vector<std::size_t> domain_sizes,
+                     BinaryPredicate compatible)
+    : compatible_(std::move(compatible)) {
+  domains_.reserve(domain_sizes.size());
+  for (std::size_t size : domain_sizes) {
+    std::vector<std::size_t> d(size);
+    for (std::size_t v = 0; v < size; ++v) d[v] = v;
+    domains_.push_back(std::move(d));
+  }
+}
+
+bool BinaryCsp::revise(std::size_t xi, std::size_t xj) {
+  ++stats_.ac3_revisions;
+  bool removed = false;
+  auto& di = domains_[xi];
+  const auto& dj = domains_[xj];
+  di.erase(std::remove_if(di.begin(), di.end(),
+                          [&](std::size_t vi) {
+                            const bool supported = std::any_of(
+                                dj.begin(), dj.end(), [&](std::size_t vj) {
+                                  return compatible_(xi, vi, xj, vj);
+                                });
+                            if (!supported) {
+                              ++stats_.ac3_removals;
+                              removed = true;
+                            }
+                            return !supported;
+                          }),
+           di.end());
+  return removed;
+}
+
+bool BinaryCsp::ac3() {
+  const std::size_t n = variable_count();
+  std::deque<std::pair<std::size_t, std::size_t>> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) queue.emplace_back(i, j);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [xi, xj] = queue.front();
+    queue.pop_front();
+    if (revise(xi, xj)) {
+      if (domains_[xi].empty()) return false;
+      for (std::size_t xk = 0; xk < n; ++xk) {
+        if (xk != xi && xk != xj) queue.emplace_back(xk, xi);
+      }
+    }
+  }
+  return true;
+}
+
+bool BinaryCsp::backtrack(std::vector<std::optional<std::size_t>>& assignment,
+                          std::vector<std::vector<std::size_t>>* collector,
+                          std::size_t limit) {
+  ++stats_.backtrack_nodes;
+  // MRV: pick the unassigned variable with the smallest domain.
+  std::size_t best = variable_count();
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (std::size_t v = 0; v < variable_count(); ++v) {
+    if (!assignment[v] && domains_[v].size() < best_size) {
+      best = v;
+      best_size = domains_[v].size();
+    }
+  }
+  if (best == variable_count()) {  // complete assignment
+    ++stats_.solutions_found;
+    if (collector) {
+      std::vector<std::size_t> sol(variable_count());
+      for (std::size_t v = 0; v < variable_count(); ++v) sol[v] = *assignment[v];
+      collector->push_back(std::move(sol));
+      return limit != 0 && collector->size() >= limit;  // stop when full
+    }
+    return true;
+  }
+  for (std::size_t value : domains_[best]) {
+    bool consistent = true;
+    for (std::size_t other = 0; other < variable_count(); ++other) {
+      if (assignment[other] &&
+          !compatible_(best, value, other, *assignment[other])) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    assignment[best] = value;
+    if (backtrack(assignment, collector, limit)) return true;
+    assignment[best] = std::nullopt;
+  }
+  return false;
+}
+
+std::optional<std::vector<std::size_t>> BinaryCsp::solve() {
+  std::vector<std::optional<std::size_t>> assignment(variable_count());
+  if (!backtrack(assignment, nullptr, 0)) return std::nullopt;
+  std::vector<std::size_t> out(variable_count());
+  for (std::size_t v = 0; v < variable_count(); ++v) out[v] = *assignment[v];
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> BinaryCsp::solve_all(std::size_t limit) {
+  std::vector<std::vector<std::size_t>> collector;
+  std::vector<std::optional<std::size_t>> assignment(variable_count());
+  backtrack(assignment, &collector, limit);
+  return collector;
+}
+
+}  // namespace ferex::csp

@@ -1,0 +1,68 @@
+// A small generic binary-CSP engine: AC-3 arc consistency (Mackworth 1977)
+// plus backtracking search with MRV ordering. The FeReX feasibility
+// detector instantiates it with search rows as variables and RowPatterns
+// as domain values, but the engine itself is domain-agnostic (and unit
+// tested on classic problems such as graph coloring).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ferex::csp {
+
+/// Statistics of one solver run (exposed for the ablation benches).
+struct CspStats {
+  std::size_t ac3_revisions = 0;       ///< revise() calls performed
+  std::size_t ac3_removals = 0;        ///< domain values pruned by AC-3
+  std::size_t backtrack_nodes = 0;     ///< search-tree nodes visited
+  std::size_t solutions_found = 0;
+};
+
+/// Binary constraint: may (variable a = value index va) coexist with
+/// (variable b = value index vb)? Must be symmetric in meaning (the engine
+/// queries both directions).
+using BinaryPredicate = std::function<bool(
+    std::size_t a, std::size_t va, std::size_t b, std::size_t vb)>;
+
+/// A CSP over variables 0..n-1 whose domains are value *indices*
+/// (callers keep the real values; the engine never inspects them).
+class BinaryCsp {
+ public:
+  /// @param domain_sizes  size of each variable's initial domain
+  /// @param compatible    the binary constraint applied to every pair
+  BinaryCsp(std::vector<std::size_t> domain_sizes, BinaryPredicate compatible);
+
+  std::size_t variable_count() const noexcept { return domains_.size(); }
+
+  /// Remaining domain (value indices) of a variable.
+  const std::vector<std::size_t>& domain(std::size_t var) const {
+    return domains_[var];
+  }
+
+  /// Runs AC-3 to arc consistency over the complete constraint graph.
+  /// Returns false iff some domain was wiped out (infeasible).
+  bool ac3();
+
+  /// Backtracking search (with MRV) over the current domains.
+  /// Returns one solution (value index per variable) or nullopt.
+  std::optional<std::vector<std::size_t>> solve();
+
+  /// Enumerates up to `limit` full solutions.
+  std::vector<std::vector<std::size_t>> solve_all(std::size_t limit = 0);
+
+  const CspStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool revise(std::size_t xi, std::size_t xj);
+  bool backtrack(std::vector<std::optional<std::size_t>>& assignment,
+                 std::vector<std::vector<std::size_t>>* collector,
+                 std::size_t limit);
+
+  std::vector<std::vector<std::size_t>> domains_;
+  BinaryPredicate compatible_;
+  CspStats stats_{};
+};
+
+}  // namespace ferex::csp

@@ -1,0 +1,79 @@
+#include "csp/decompose.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace ferex::csp {
+
+namespace {
+
+void validate(int k, int value, std::span<const int> current_range) {
+  if (k <= 0) throw std::invalid_argument("decompose_value: k must be > 0");
+  if (value < 0) throw std::invalid_argument("decompose_value: value < 0");
+  for (int c : current_range) {
+    if (c <= 0) {
+      throw std::invalid_argument(
+          "decompose_value: current range entries must be positive");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CellCurrents> decompose_value(int k, int value,
+                                          std::span<const int> current_range) {
+  validate(k, value, current_range);
+  std::vector<CellCurrents> out;
+  CellCurrents partial(static_cast<std::size_t>(k), 0);
+
+  // Depth-first over FeFET positions; prune when the remaining positions
+  // cannot absorb the remaining value even at the maximum current.
+  const int max_c = current_range.empty()
+                        ? 0
+                        : *std::max_element(current_range.begin(),
+                                            current_range.end());
+  std::function<void(int, int)> recurse = [&](int pos, int remaining) {
+    const int positions_left = k - pos;
+    if (remaining > positions_left * max_c) return;  // prune
+    if (pos == k) {
+      if (remaining == 0) out.push_back(partial);
+      return;
+    }
+    partial[pos] = 0;  // FeFET OFF
+    recurse(pos + 1, remaining);
+    for (int c : current_range) {
+      if (c <= remaining) {
+        partial[pos] = c;
+        recurse(pos + 1, remaining - c);
+      }
+    }
+    partial[pos] = 0;
+  };
+  recurse(0, value);
+  return out;
+}
+
+std::size_t count_decompositions(int k, int value,
+                                 std::span<const int> current_range) {
+  validate(k, value, current_range);
+  // DP over positions: ways[v] = #tuples of the first p positions summing
+  // to v.
+  std::vector<std::size_t> ways(static_cast<std::size_t>(value) + 1, 0);
+  ways[0] = 1;
+  for (int p = 0; p < k; ++p) {
+    std::vector<std::size_t> next(ways.size(), 0);
+    for (std::size_t v = 0; v < ways.size(); ++v) {
+      if (ways[v] == 0) continue;
+      next[v] += ways[v];  // OFF
+      for (int c : current_range) {
+        const std::size_t nv = v + static_cast<std::size_t>(c);
+        if (nv < next.size()) next[nv] += ways[v];
+      }
+    }
+    ways = std::move(next);
+  }
+  return ways[static_cast<std::size_t>(value)];
+}
+
+}  // namespace ferex::csp

@@ -1,0 +1,32 @@
+// DecomposeDM — constraint 1 of the FeReX CSP (Sec. III-B, Fig. 4c).
+//
+// A DM element I(sch,sto) is realized as the sum of k per-FeFET currents,
+// each either 0 (device OFF) or a value from the allowed current range CR
+// (integer multiples of the unit current, set by the drain-voltage
+// multiples the drain-voltage selector can apply). This module enumerates
+// every ordered k-tuple of such currents summing to the element value.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ferex::csp {
+
+/// One per-cell current assignment: entry i is the current (in I0
+/// multiples) through FeFET i; 0 means the device is OFF.
+using CellCurrents = std::vector<int>;
+
+/// Enumerates all ordered decompositions of `value` into `k` currents,
+/// each 0 or an element of `current_range` (which must hold distinct
+/// positive values). Returns an empty vector when no decomposition exists.
+///
+/// Example: value=2, k=3, CR={1,2} ->
+///   (2,0,0) (0,2,0) (0,0,2) (1,1,0) (1,0,1) (0,1,1)
+std::vector<CellCurrents> decompose_value(int k, int value,
+                                          std::span<const int> current_range);
+
+/// Number of decompositions without materializing them (for sizing stats).
+std::size_t count_decompositions(int k, int value,
+                                 std::span<const int> current_range);
+
+}  // namespace ferex::csp

@@ -1,0 +1,18 @@
+// Error types of the CSP layer.
+#pragma once
+
+#include <stdexcept>
+
+namespace ferex::csp {
+
+/// Thrown when an exact Algorithm-1 run exceeds its configured resource
+/// budget (the feasibility CSP is exponential in cell size; the paper's
+/// instances — b <= 2 bits, k <= ~4 FeFETs — are comfortably inside the
+/// default budget, but pathological inputs are rejected explicitly rather
+/// than silently truncated, which could misreport infeasibility).
+class ResourceLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace ferex::csp

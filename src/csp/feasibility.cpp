@@ -1,0 +1,93 @@
+#include "csp/feasibility.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace ferex::csp {
+
+FeasibilityResult detect_feasibility(const DistanceMatrix& dm, int k,
+                                     std::span<const int> current_range,
+                                     const FeasibilityOptions& options) {
+  if (dm.stored_count() > 64) {
+    throw std::invalid_argument(
+        "detect_feasibility: > 64 stored values per cell unsupported");
+  }
+  FeasibilityResult result;
+  const std::size_t rows = dm.search_count();
+
+  // Constraints 1 + 2: per-row pattern enumeration
+  //   DMCurs[i, j] <- DecomposeDM(K, DM[i, j], CR)
+  //   Searchlines[i] <- Backtracking(DMCurs[i])
+  std::vector<std::vector<RowPattern>> searchlines(rows);
+  for (std::size_t sch = 0; sch < rows; ++sch) {
+    searchlines[sch] = enumerate_row_patterns(
+        dm.values().row(sch), k, current_range, options.max_patterns_per_row);
+    if (searchlines[sch].empty()) return result;  // some row unrealizable
+  }
+
+  // Pre-compute per-pattern, per-FeFET ON-set bitmasks over stored values
+  // so the (heavily repeated) constraint-3 compatibility check reduces to
+  // a few word operations: two ON-sets are nested iff NOT both set
+  // differences are non-empty.
+  const auto kk = static_cast<std::size_t>(k);
+  std::vector<std::vector<std::uint64_t>> masks(rows);
+  for (std::size_t sch = 0; sch < rows; ++sch) {
+    masks[sch].assign(searchlines[sch].size() * kk, 0);
+    for (std::size_t p = 0; p < searchlines[sch].size(); ++p) {
+      const auto& pattern = searchlines[sch][p];
+      for (std::size_t sto = 0; sto < pattern.stored_count(); ++sto) {
+        for (std::size_t i = 0; i < kk; ++i) {
+          if (pattern.is_on(sto, i)) {
+            masks[sch][p * kk + i] |= (std::uint64_t{1} << sto);
+          }
+        }
+      }
+    }
+  }
+  const auto compatible = [&masks, kk](std::size_t a, std::size_t va,
+                                       std::size_t b, std::size_t vb) {
+    const std::uint64_t* ma = &masks[a][va * kk];
+    const std::uint64_t* mb = &masks[b][vb * kk];
+    for (std::size_t i = 0; i < kk; ++i) {
+      if ((ma[i] & ~mb[i]) != 0 && (mb[i] & ~ma[i]) != 0) return false;
+    }
+    return true;
+  };
+
+  // Constraint 3 across rows: FeasibleRegion <- AC3(Searchlines).
+  std::vector<std::size_t> domain_sizes(rows);
+  for (std::size_t sch = 0; sch < rows; ++sch) {
+    domain_sizes[sch] = searchlines[sch].size();
+  }
+  BinaryCsp csp(std::move(domain_sizes), compatible);
+
+  if (options.use_ac3 && !csp.ac3()) {
+    result.stats = csp.stats();
+    return result;  // a domain was wiped out: infeasible
+  }
+
+  // Extract concrete solutions over the (possibly filtered) domains.
+  const auto index_solutions = csp.solve_all(options.solution_limit);
+  result.stats = csp.stats();
+  if (index_solutions.empty()) return result;
+
+  result.feasible = true;
+  result.feasible_region.resize(rows);
+  for (std::size_t sch = 0; sch < rows; ++sch) {
+    for (std::size_t idx : csp.domain(sch)) {
+      result.feasible_region[sch].push_back(searchlines[sch][idx]);
+    }
+  }
+  result.solutions.reserve(index_solutions.size());
+  for (const auto& sol : index_solutions) {
+    std::vector<RowPattern> patterns(rows);
+    for (std::size_t sch = 0; sch < rows; ++sch) {
+      patterns[sch] = searchlines[sch][sol[sch]];
+    }
+    result.solutions.push_back(std::move(patterns));
+  }
+  return result;
+}
+
+}  // namespace ferex::csp

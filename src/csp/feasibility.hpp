@@ -1,0 +1,65 @@
+// Algorithm 1 — FeReX Feasibility Detection.
+//
+// INPUT : the M x N distance matrix DM to be implemented by each cell of
+//         K FeFETs, with a current range CR allowed per FeFET.
+// OUTPUT: the Feasible Region (per-search-row sets of row patterns that
+//         survive all three constraints) or failure.
+//
+// Structure follows the paper exactly: constraint 1 by DM-element
+// decomposition, constraint 2 by per-row Backtracking, constraint 3 by
+// AC-3 across rows. On top of the paper's pseudocode we also extract a
+// concrete globally consistent assignment by a final backtracking search
+// over the filtered domains (AC-3 alone guarantees only arc consistency).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "csp/binary_csp.hpp"
+#include "csp/distance_matrix.hpp"
+#include "csp/row_pattern.hpp"
+
+namespace ferex::csp {
+
+struct FeasibilityOptions {
+  /// Use AC-3 for constraint 3 (the paper's default). When false, the
+  /// filtering step is skipped and plain backtracking handles everything —
+  /// the ablation Alg. 1 mentions ("AC3 can be replaced by backtracking").
+  bool use_ac3 = true;
+
+  /// How many concrete solutions to enumerate (1 = first found, 0 = all).
+  std::size_t solution_limit = 1;
+
+  /// Resource budget: maximum row patterns enumerated per search row
+  /// (0 = unlimited). The CSP is exponential in cell size; paper-scale
+  /// instances need well under this. Exceeding the budget throws
+  /// ResourceLimitError instead of silently truncating.
+  std::size_t max_patterns_per_row = 20000;
+};
+
+/// Result of the feasibility detection for one (DM, k, CR) instance.
+struct FeasibilityResult {
+  bool feasible = false;
+
+  /// The paper's "Feasible Region": for each search row, the row patterns
+  /// that survive AC-3 (or the raw constraint-2 sets when AC-3 is off).
+  std::vector<std::vector<RowPattern>> feasible_region;
+
+  /// Concrete globally consistent assignments: solutions[s][sch] is the
+  /// row pattern chosen for search row sch in solution s.
+  std::vector<std::vector<RowPattern>> solutions;
+
+  CspStats stats{};
+
+  /// The first solution (requires feasible).
+  const std::vector<RowPattern>& solution() const { return solutions.front(); }
+};
+
+/// Runs Algorithm 1 for a DM on cells of k FeFETs with current range CR.
+/// Throws ResourceLimitError when the instance exceeds the options'
+/// pattern budget (see FeasibilityOptions::max_patterns_per_row).
+FeasibilityResult detect_feasibility(const DistanceMatrix& dm, int k,
+                                     std::span<const int> current_range,
+                                     const FeasibilityOptions& options = {});
+
+}  // namespace ferex::csp

@@ -1,0 +1,117 @@
+#include "csp/row_pattern.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "csp/errors.hpp"
+
+namespace ferex::csp {
+
+int RowPattern::on_current(std::size_t fefet) const {
+  for (const auto& cell : currents) {
+    if (cell[fefet] != 0) return cell[fefet];
+  }
+  return 0;
+}
+
+bool satisfies_constraint2(const RowPattern& row) {
+  const std::size_t k = row.fefet_count();
+  for (std::size_t i = 0; i < k; ++i) {
+    int locked = 0;
+    for (const auto& cell : row.currents) {
+      const int c = cell[i];
+      if (c == 0) continue;
+      if (locked == 0) {
+        locked = c;
+      } else if (c != locked) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool rows_compatible(const RowPattern& a, const RowPattern& b) {
+  const std::size_t k = a.fefet_count();
+  const std::size_t n = a.stored_count();
+  if (k != b.fefet_count() || n != b.stored_count()) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    bool a_minus_b = false;  // some sto ON in a but OFF in b
+    bool b_minus_a = false;  // some sto ON in b but OFF in a
+    for (std::size_t sto = 0; sto < n; ++sto) {
+      const bool on_a = a.is_on(sto, i);
+      const bool on_b = b.is_on(sto, i);
+      if (on_a && !on_b) a_minus_b = true;
+      if (on_b && !on_a) b_minus_a = true;
+    }
+    if (a_minus_b && b_minus_a) return false;  // ON-sets not nested
+  }
+  return true;
+}
+
+std::vector<RowPattern> enumerate_row_patterns(
+    std::span<const int> row_targets, int k,
+    std::span<const int> current_range, std::size_t max_patterns) {
+  const std::size_t n = row_targets.size();
+
+  // Pre-compute the decomposition choices per stored value (constraint 1).
+  std::vector<std::vector<CellCurrents>> choices(n);
+  for (std::size_t sto = 0; sto < n; ++sto) {
+    choices[sto] = decompose_value(k, row_targets[sto], current_range);
+    if (choices[sto].empty()) return {};  // row impossible
+  }
+
+  // Most-constrained-first ordering: visiting stored values with few
+  // decompositions early locks FeFET currents sooner and prunes harder.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return choices[a].size() < choices[b].size();
+  });
+
+  std::vector<RowPattern> out;
+  RowPattern partial;
+  partial.currents.assign(n, CellCurrents(static_cast<std::size_t>(k), 0));
+  // locked[i] — the single ON current FeFET i is committed to so far
+  // (0 = still free). Enforces constraint 2 incrementally.
+  std::vector<int> locked(static_cast<std::size_t>(k), 0);
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (depth == n) {
+      if (max_patterns != 0 && out.size() >= max_patterns) {
+        throw ResourceLimitError(
+            "enumerate_row_patterns: row pattern budget (" +
+            std::to_string(max_patterns) + ") exceeded");
+      }
+      out.push_back(partial);
+      return;
+    }
+    const std::size_t sto = order[depth];
+    for (const CellCurrents& cand : choices[sto]) {
+      // Check cand against the locks; remember which locks we introduce.
+      std::vector<std::size_t> newly_locked;
+      bool ok = true;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i) {
+        const int c = cand[i];
+        if (c == 0) continue;
+        if (locked[i] == 0) {
+          locked[i] = c;
+          newly_locked.push_back(i);
+        } else if (locked[i] != c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        partial.currents[sto] = cand;
+        recurse(depth + 1);
+      }
+      for (std::size_t i : newly_locked) locked[i] = 0;  // undo
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+}  // namespace ferex::csp

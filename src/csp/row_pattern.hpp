@@ -1,0 +1,65 @@
+// Search-line row patterns and the FeReX CSP constraints 2 and 3.
+//
+// A RowPattern fixes, for ONE search value (one row of the DM), the
+// current through each of the k FeFETs under every stored value. It is
+// the unit the per-row Backtracking step enumerates and the AC-3 step
+// filters (Algorithm 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "csp/decompose.hpp"
+
+namespace ferex::csp {
+
+/// currents[sto][i] = current through FeFET i (in I0 multiples) when this
+/// search row is applied against stored value sto; 0 = OFF.
+struct RowPattern {
+  std::vector<CellCurrents> currents;
+
+  std::size_t stored_count() const noexcept { return currents.size(); }
+  std::size_t fefet_count() const noexcept {
+    return currents.empty() ? 0 : currents.front().size();
+  }
+
+  /// Non-zero drain current of FeFET i in this row (constraint 2
+  /// guarantees it is unique); 0 if the FeFET is OFF for every stored
+  /// value.
+  int on_current(std::size_t fefet) const;
+
+  /// True iff FeFET i conducts under stored value sto.
+  bool is_on(std::size_t sto, std::size_t fefet) const {
+    return currents[sto][fefet] != 0;
+  }
+
+  bool operator==(const RowPattern&) const = default;
+};
+
+/// Constraint 2 (Fig. 4d): within one search row, each FeFET's non-zero
+/// currents across stored values must be identical (a FeFET sees a single
+/// Vds per search configuration).
+bool satisfies_constraint2(const RowPattern& row);
+
+/// Constraint 3 (Fig. 4e), pairwise form: for every FeFET, the ON-sets of
+/// the two rows must be nested (one a subset of the other). A violating
+/// 2x2 "fence" — sto_a ON / sto_b OFF in one row but sto_a OFF / sto_b ON
+/// in the other — would require Vth_a < Vth_b and Vth_b < Vth_a at once.
+bool rows_compatible(const RowPattern& a, const RowPattern& b);
+
+/// Enumerates all RowPatterns for one search row via backtracking over
+/// stored values (the Backtracking(DMCurs[i]) step of Algorithm 1).
+///
+/// @param row_targets  DM entries of this row, indexed by stored value
+/// @param k            FeFETs per cell
+/// @param current_range allowed non-zero per-FeFET currents (I0 multiples)
+/// @param max_patterns resource budget; 0 = unlimited. When the row would
+///        produce more patterns, throws ResourceLimitError — an explicit
+///        "instance too large for exact Algorithm 1" signal, never a
+///        silent truncation (which could misreport infeasibility).
+std::vector<RowPattern> enumerate_row_patterns(
+    std::span<const int> row_targets, int k,
+    std::span<const int> current_range, std::size_t max_patterns = 0);
+
+}  // namespace ferex::csp

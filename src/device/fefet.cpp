@@ -1,0 +1,25 @@
+#include "device/fefet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ferex::device {
+
+FeFet::FeFet(double vth_v, FeFetParams params) : params_(params) {
+  set_vth(vth_v);
+}
+
+void FeFet::set_vth(double vth_v) noexcept {
+  vth_v_ = std::clamp(vth_v, params_.vth_min_v, params_.vth_max_v);
+}
+
+double FeFet::ids(double vgs_v, double vds_v) const noexcept {
+  if (vds_v <= 0.0) return 0.0;
+  if (vgs_v >= vth_v_) return params_.isat_a;
+  // Subthreshold: Ids = Isat * 10^((Vgs - Vth) / SS).
+  const double decades = (vgs_v - vth_v_) / (params_.ss_mv_per_dec * 1e-3);
+  const double leak = params_.isat_a * std::pow(10.0, decades);
+  return std::max(leak, params_.min_leak_a);
+}
+
+}  // namespace ferex::device

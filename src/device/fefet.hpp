@@ -1,0 +1,57 @@
+// Behavioral FeFET (ferroelectric FET) device model.
+//
+// The FeReX paper (Sec. II-A) relies on two device facts:
+//   1. A FeFET stores a threshold voltage Vth, programmable to multiple
+//      levels by gate voltage pulses (polarization of the HfO2 layer).
+//   2. In the 1FeFET1R cell the ON current is clamped by the series
+//      resistor: Ids ~= min(Isat, Vds / R), making it insensitive to Vth
+//      variation while ON, and ~0 when Vgs < Vth.
+//
+// This module models (1) directly as a stored Vth plus an I-V relation
+// with an exponential subthreshold region (so near-threshold search
+// voltages leak realistically in Monte-Carlo runs). The series-resistor
+// clamp (2) lives in one_fefet_one_r.hpp.
+#pragma once
+
+namespace ferex::device {
+
+/// Electrical parameters of a single FeFET (45 nm-class defaults chosen to
+/// match the magnitudes used in the paper's simulation setup).
+struct FeFetParams {
+  double isat_a = 2e-6;           ///< saturation (unclamped) ON current [A]
+  double ss_mv_per_dec = 60.0;    ///< subthreshold swing [mV/decade]
+  double min_leak_a = 1e-13;      ///< floor leakage current [A]
+  double vth_min_v = 0.2;         ///< lowest programmable Vth [V]
+  double vth_max_v = 2.0;         ///< highest programmable Vth [V]
+};
+
+/// A FeFET with a fixed (already programmed) threshold voltage.
+///
+/// Invariant: vth is clamped to [params.vth_min_v, params.vth_max_v].
+class FeFet {
+ public:
+  FeFet() = default;
+  explicit FeFet(double vth_v, FeFetParams params = {});
+
+  double vth() const noexcept { return vth_v_; }
+  const FeFetParams& params() const noexcept { return params_; }
+
+  /// Re-programs the stored threshold voltage (clamped to device range).
+  void set_vth(double vth_v) noexcept;
+
+  /// Drain current for a gate-source voltage and drain-source voltage.
+  ///
+  /// ON (vgs >= vth): returns the saturation current (the series-resistor
+  /// clamp is applied by the cell, not here). OFF: exponential
+  /// subthreshold decay at ss_mv_per_dec down to min_leak_a.
+  double ids(double vgs_v, double vds_v) const noexcept;
+
+  /// True iff the device conducts its full ON current at this gate bias.
+  bool is_on(double vgs_v) const noexcept { return vgs_v >= vth_v_; }
+
+ private:
+  FeFetParams params_{};
+  double vth_v_ = 0.5;
+};
+
+}  // namespace ferex::device

@@ -1,0 +1,35 @@
+#include "device/levels.hpp"
+
+#include <stdexcept>
+
+namespace ferex::device {
+
+VoltageLadder::VoltageLadder(std::size_t levels, double base_v, double step_v)
+    : levels_(levels), base_v_(base_v), step_v_(step_v) {
+  if (levels == 0) throw std::invalid_argument("VoltageLadder: levels == 0");
+  if (step_v <= 0.0) throw std::invalid_argument("VoltageLadder: step <= 0");
+}
+
+double VoltageLadder::vth(std::size_t i) const {
+  if (i >= levels_) throw std::out_of_range("VoltageLadder::vth level");
+  return base_v_ + static_cast<double>(i) * step_v_ + step_v_ / 2.0;
+}
+
+double VoltageLadder::vsearch(std::size_t j) const {
+  if (j >= levels_) throw std::out_of_range("VoltageLadder::vsearch level");
+  return base_v_ + static_cast<double>(j) * step_v_;
+}
+
+std::vector<double> VoltageLadder::all_vth() const {
+  std::vector<double> out(levels_);
+  for (std::size_t i = 0; i < levels_; ++i) out[i] = vth(i);
+  return out;
+}
+
+std::vector<double> VoltageLadder::all_vsearch() const {
+  std::vector<double> out(levels_);
+  for (std::size_t j = 0; j < levels_; ++j) out[j] = vsearch(j);
+  return out;
+}
+
+}  // namespace ferex::device

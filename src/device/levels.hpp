@@ -1,0 +1,58 @@
+// Voltage ladders for multi-level FeFET operation.
+//
+// FeReX's encoding (Table II) requires interleaved stored-threshold and
+// search-voltage levels such that a FeFET programmed to Vt_i turns ON under
+// search voltage Vs_j iff i < j. We realize that with a uniform ladder
+//
+//   Vs_j = base + j * step          (search levels)
+//   Vt_i = base + i * step + step/2 (threshold levels)
+//
+// giving Vs_j - Vt_i = (j - i) * step - step/2, which is positive exactly
+// when j > i, with a symmetric noise margin of step/2 on each side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ferex::device {
+
+/// Interleaved Vt/Vs ladder for a given number of levels.
+class VoltageLadder {
+ public:
+  /// @param levels  number of distinct Vt (and Vs) levels, >= 1
+  /// @param base_v  voltage of Vs_0
+  /// @param step_v  ladder pitch; the noise margin is step_v / 2
+  VoltageLadder(std::size_t levels, double base_v = 0.2, double step_v = 0.6);
+
+  std::size_t levels() const noexcept { return levels_; }
+  double base_v() const noexcept { return base_v_; }
+  double step_v() const noexcept { return step_v_; }
+
+  /// Noise margin between any adjacent Vt/Vs pair.
+  double margin_v() const noexcept { return step_v_ / 2.0; }
+
+  /// Stored threshold voltage for level i (Vt_i). Requires i < levels().
+  double vth(std::size_t i) const;
+
+  /// Search (gate) voltage for level j (Vs_j). Requires j < levels().
+  double vsearch(std::size_t j) const;
+
+  /// All threshold levels, ascending.
+  std::vector<double> all_vth() const;
+
+  /// All search levels, ascending.
+  std::vector<double> all_vsearch() const;
+
+  /// True iff a device at Vt_i conducts under Vs_j (i.e. i < j) with the
+  /// nominal (variation-free) ladder.
+  bool conducts(std::size_t vth_level, std::size_t vsearch_level) const noexcept {
+    return vth_level < vsearch_level;
+  }
+
+ private:
+  std::size_t levels_;
+  double base_v_;
+  double step_v_;
+};
+
+}  // namespace ferex::device

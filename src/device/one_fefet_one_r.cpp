@@ -1,0 +1,29 @@
+#include "device/one_fefet_one_r.hpp"
+
+#include <algorithm>
+
+namespace ferex::device {
+
+OneFeFetOneR::OneFeFetOneR(double vth_v, CellParams cell, FeFetParams fet)
+    : fet_(vth_v, fet), cell_(cell), resistance_ohm_(cell.resistance_ohm) {}
+
+void OneFeFetOneR::set_resistance(double ohm) noexcept {
+  resistance_ohm_ = std::max(ohm, 1.0);
+}
+
+double OneFeFetOneR::current(double vgs_v, double vds_v) const noexcept {
+  if (vds_v <= 0.0) return 0.0;
+  const double fet_current = fet_.ids(vgs_v, vds_v);
+  const double clamp = vds_v / resistance_ohm_;
+  // ON: the resistor limits the current (FeFET in linear region).
+  // OFF: the FeFET limits it (subthreshold), far below the clamp.
+  return std::min(fet_current, clamp);
+}
+
+double OneFeFetOneR::current_at_multiple(double vgs_v,
+                                         int vds_multiple) const noexcept {
+  if (vds_multiple <= 0) return 0.0;
+  return current(vgs_v, cell_.vds_unit_v * vds_multiple);
+}
+
+}  // namespace ferex::device

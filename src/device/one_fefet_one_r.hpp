@@ -1,0 +1,56 @@
+// The 1FeFET1R cell (Soliman et al. IEDM'20, Saito et al. VLSI'21).
+//
+// A large (MΩ) resistor in series with the FeFET source clamps the ON
+// current to Vds / R, making it (a) independent of Vth variation and
+// (b) an exact integer multiple of the unit current when Vds is an
+// integer multiple of the minimum drain voltage — the property FeReX's
+// current-domain distance arithmetic is built on (Sec. II-A, Fig. 1b).
+#pragma once
+
+#include "device/fefet.hpp"
+
+namespace ferex::device {
+
+/// Cell-level electrical parameters.
+struct CellParams {
+  double resistance_ohm = 1e6;  ///< series resistor R (MΩ class, BEOL)
+  double vds_unit_v = 0.1;      ///< minimum drain-source voltage step [V]
+};
+
+/// One FeFET in series with one resistor.
+///
+/// The conducting current is Min{Isat, Vds / R} when the FeFET is ON
+/// (Vgs >= Vth), and the FeFET subthreshold leakage otherwise.
+class OneFeFetOneR {
+ public:
+  OneFeFetOneR() = default;
+  OneFeFetOneR(double vth_v, CellParams cell = {}, FeFetParams fet = {});
+
+  const FeFet& fet() const noexcept { return fet_; }
+  FeFet& fet() noexcept { return fet_; }
+  const CellParams& cell_params() const noexcept { return cell_; }
+
+  /// Actual series resistance (after variation is applied, if any).
+  double resistance() const noexcept { return resistance_ohm_; }
+
+  /// Overrides the series resistance (used by the variation model).
+  void set_resistance(double ohm) noexcept;
+
+  /// Unit ON current I0 = vds_unit / R for this cell instance.
+  double unit_current_a() const noexcept {
+    return cell_.vds_unit_v / resistance_ohm_;
+  }
+
+  /// Cell current for the given gate and drain biases.
+  double current(double vgs_v, double vds_v) const noexcept;
+
+  /// Cell current when Vds = m * vds_unit (the only biases FeReX uses).
+  double current_at_multiple(double vgs_v, int vds_multiple) const noexcept;
+
+ private:
+  FeFet fet_{};
+  CellParams cell_{};
+  double resistance_ohm_ = 1e6;
+};
+
+}  // namespace ferex::device

@@ -1,0 +1,83 @@
+#include "device/preisach.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ferex::device {
+
+PreisachFeFet::PreisachFeFet(PreisachParams params) : params_(params) {}
+
+double PreisachFeFet::vth() const noexcept {
+  // P = +1 -> vth_low, P = -1 -> vth_high, linear in between.
+  const double half_window = memory_window_v() / 2.0;
+  const double mid = (params_.vth_high_v + params_.vth_low_v) / 2.0;
+  return mid - polarization_ * half_window;
+}
+
+void PreisachFeFet::apply_pulse(double amplitude_v, double width_s) {
+  const double mag = std::abs(amplitude_v);
+  if (mag <= params_.coercive_v || width_s <= 0.0) return;  // sub-coercive
+
+  // Saturation polarization this amplitude can reach (soft sigmoid above
+  // the coercive voltage), signed by pulse polarity.
+  const double drive = (mag - params_.coercive_v) / params_.softness_v;
+  const double p_sat = std::tanh(drive) * (amplitude_v > 0.0 ? 1.0 : -1.0);
+
+  // Switching rate: exponential in overdrive (nucleation-limited
+  // switching), so width and amplitude trade off logarithmically.
+  const double overdrive = mag / (2.0 * params_.coercive_v);
+  const double tau = params_.tau_s * std::exp(1.0 - overdrive);
+  const double alpha = 1.0 - std::exp(-width_s / tau);
+
+  // Minor-loop behaviour: P relaxes toward p_sat, never overshooting it.
+  if ((amplitude_v > 0.0 && polarization_ < p_sat) ||
+      (amplitude_v < 0.0 && polarization_ > p_sat)) {
+    polarization_ += (p_sat - polarization_) * alpha;
+  }
+  polarization_ = std::clamp(polarization_, -1.0, 1.0);
+}
+
+void PreisachFeFet::erase() {
+  apply_pulse(-params_.write_v, 10.0 * params_.pulse_width_s);
+  polarization_ = -1.0;  // saturating erase fully resets the loop
+}
+
+std::size_t PreisachFeFet::program_to_vth(double target_v, double tolerance_v,
+                                          std::size_t max_pulses) {
+  const double target =
+      std::clamp(target_v, params_.vth_low_v, params_.vth_high_v);
+  const double half_window = memory_window_v() / 2.0;
+  const double mid = (params_.vth_high_v + params_.vth_low_v) / 2.0;
+  const double p_target = std::clamp((mid - target) / half_window, -1.0, 1.0);
+
+  std::size_t pulses = 0;
+  erase();
+  ++pulses;
+
+  // Program-and-verify: from the switching law
+  //   P' = P + (P_sat - P) * (1 - exp(-w / tau))
+  // the pulse width needed to land on p_target is
+  //   w = -tau * ln(1 - (p_target - P) / (P_sat - P)).
+  // One analytic pulse lands within numerics; loop for robustness against
+  // saturation (targets beyond P_sat of the write amplitude).
+  while (pulses < max_pulses && std::abs(vth() - target) > tolerance_v) {
+    const double p = polarization_;
+    const double need = p_target - p;
+    const double amplitude = need > 0.0 ? params_.write_v : -params_.write_v;
+    const double drive =
+        (std::abs(amplitude) - params_.coercive_v) / params_.softness_v;
+    const double p_sat = std::tanh(drive) * (amplitude > 0.0 ? 1.0 : -1.0);
+    const double denom = p_sat - p;
+    if (std::abs(denom) < 1e-12) break;  // fully saturated, cannot move
+    const double alpha = std::clamp(need / denom, 0.0, 1.0 - 1e-12);
+    if (alpha <= 0.0) break;  // target beyond this amplitude's reach
+    const double overdrive = std::abs(amplitude) / (2.0 * params_.coercive_v);
+    const double tau = params_.tau_s * std::exp(1.0 - overdrive);
+    const double width = -tau * std::log(1.0 - alpha);
+    apply_pulse(amplitude, width);
+    ++pulses;
+  }
+  return pulses;
+}
+
+}  // namespace ferex::device

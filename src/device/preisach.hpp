@@ -1,0 +1,74 @@
+// Simplified Preisach-style programming model for the FeFET.
+//
+// The paper programs FeFET Vth levels with gate voltage pulses whose
+// amplitude and width set the ferroelectric polarization (Sec. II-A),
+// simulated there with the Preisach compact model of Ni et al. (VLSI'18).
+// We model the macroscopic behaviour that matters for FeReX:
+//
+//   * polarization P in [-1, 1] maps linearly to Vth in
+//     [vth_low (P=+1), vth_high (P=-1)]  (memory window);
+//   * a gate pulse of amplitude V and width t moves P toward the
+//     saturation value P_sat(V) = tanh((|V| - Vc) / Vw) * sign(V) with a
+//     rate that grows with amplitude and log(width) — reproducing the
+//     "longer/stronger pulse -> larger Vth shift" behaviour, partial
+//     (minor-loop) switching included;
+//   * program-and-verify: iterate pulses until Vth is within tolerance of
+//     a target level, as done in practice for MLC operation.
+#pragma once
+
+#include <cstddef>
+
+namespace ferex::device {
+
+/// Parameters of the polarization-switching dynamics.
+struct PreisachParams {
+  double vth_low_v = 0.2;    ///< Vth at full positive polarization
+  double vth_high_v = 2.0;   ///< Vth at full negative polarization
+  /// Coercive voltage Vc: pulses at or below it cause no switching. Must
+  /// exceed write_v / 2 so the half-voltage write-inhibit scheme holds.
+  double coercive_v = 2.4;
+  double softness_v = 0.9;   ///< transition width Vw of P_sat(V)
+  double tau_s = 50e-9;      ///< characteristic switching time at 2*Vc
+  double write_v = 4.5;      ///< nominal full write/erase amplitude
+  double pulse_width_s = 500e-9;  ///< nominal programming pulse width
+};
+
+/// A FeFET whose Vth evolves under programming pulses.
+class PreisachFeFet {
+ public:
+  explicit PreisachFeFet(PreisachParams params = {});
+
+  const PreisachParams& params() const noexcept { return params_; }
+
+  /// Current polarization in [-1, 1].
+  double polarization() const noexcept { return polarization_; }
+
+  /// Current threshold voltage implied by the polarization.
+  double vth() const noexcept;
+
+  /// Memory window (Vth span) of the device.
+  double memory_window_v() const noexcept {
+    return params_.vth_high_v - params_.vth_low_v;
+  }
+
+  /// Applies one gate pulse. Positive amplitude drives P toward +1
+  /// (lower Vth), negative toward -1 (higher Vth). Amplitudes at or below
+  /// the coercive voltage leave the state unchanged (write-inhibit
+  /// half-voltage pulses rely on this).
+  void apply_pulse(double amplitude_v, double width_s);
+
+  /// Full erase: saturating negative pulse (P -> -1, Vth -> vth_high).
+  void erase();
+
+  /// Program-and-verify loop toward a target Vth. Alternates shortened
+  /// write pulses with verification until |vth - target| <= tolerance or
+  /// the iteration budget is exhausted. Returns the number of pulses used.
+  std::size_t program_to_vth(double target_v, double tolerance_v = 5e-3,
+                             std::size_t max_pulses = 64);
+
+ private:
+  PreisachParams params_{};
+  double polarization_ = -1.0;  // erased (high-Vth) state
+};
+
+}  // namespace ferex::device

@@ -1,0 +1,45 @@
+// Device-to-device variation model (Sec. IV-A of the paper).
+//
+// The paper's Monte-Carlo setup uses:
+//   * FeFET threshold-voltage D2D variation sigma = 54 mV (Soliman IEDM'20)
+//   * 1FeFET1R series-resistance variation 8 % (extracted from fabricated
+//     devices, Saito VLSI'21)
+// Both are modeled as independent Gaussians per device instance.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace ferex::device {
+
+struct VariationParams {
+  double sigma_vth_v = 54e-3;  ///< Vth D2D standard deviation [V]
+  double sigma_r_rel = 0.08;   ///< relative resistance standard deviation
+  bool enabled = true;         ///< disable for nominal (ideal) simulation
+};
+
+/// Per-device random perturbations.
+class VariationModel {
+ public:
+  explicit VariationModel(VariationParams params = {}) : params_(params) {}
+
+  const VariationParams& params() const noexcept { return params_; }
+
+  /// Additive Vth offset [V] for one device instance.
+  double sample_vth_offset(util::Rng& rng) const {
+    if (!params_.enabled) return 0.0;
+    return rng.gaussian(0.0, params_.sigma_vth_v);
+  }
+
+  /// Multiplicative resistance factor for one device instance (clamped to
+  /// stay strictly positive even in extreme tails).
+  double sample_r_multiplier(util::Rng& rng) const {
+    if (!params_.enabled) return 1.0;
+    const double m = rng.gaussian(1.0, params_.sigma_r_rel);
+    return m > 0.05 ? m : 0.05;
+  }
+
+ private:
+  VariationParams params_{};
+};
+
+}  // namespace ferex::device

@@ -1,0 +1,109 @@
+#include "encode/composite.hpp"
+
+#include <stdexcept>
+
+namespace ferex::encode {
+
+ValueCodec::ValueCodec(util::Matrix<int> digits, std::string name)
+    : digits_(std::move(digits)), name_(std::move(name)) {
+  if (digits_.rows() == 0 || digits_.cols() == 0) {
+    throw std::invalid_argument("ValueCodec: empty digit table");
+  }
+}
+
+int ValueCodec::digit(int value, std::size_t subcell) const {
+  if (value < 0 || static_cast<std::size_t>(value) >= digits_.rows()) {
+    throw std::out_of_range("ValueCodec::digit: value");
+  }
+  return digits_.at(static_cast<std::size_t>(value), subcell);
+}
+
+std::vector<int> ValueCodec::expand(std::span<const int> logical) const {
+  std::vector<int> out;
+  out.reserve(logical.size() * subcells());
+  for (int v : logical) {
+    for (std::size_t d = 0; d < subcells(); ++d) {
+      out.push_back(digit(v, d));
+    }
+  }
+  return out;
+}
+
+ValueCodec ValueCodec::identity(std::size_t levels) {
+  util::Matrix<int> digits(levels, 1, 0);
+  for (std::size_t v = 0; v < levels; ++v) {
+    digits.at(v, 0) = static_cast<int>(v);
+  }
+  return ValueCodec(std::move(digits), "identity");
+}
+
+ValueCodec ValueCodec::bit_sliced(int bits) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("ValueCodec::bit_sliced: bits in [1, 8]");
+  }
+  const std::size_t levels = std::size_t{1} << bits;
+  util::Matrix<int> digits(levels, static_cast<std::size_t>(bits), 0);
+  for (std::size_t v = 0; v < levels; ++v) {
+    for (int b = 0; b < bits; ++b) {
+      digits.at(v, static_cast<std::size_t>(b)) =
+          static_cast<int>((v >> b) & 1);
+    }
+  }
+  return ValueCodec(std::move(digits),
+                    std::to_string(bits) + "-bit binary slicing");
+}
+
+ValueCodec ValueCodec::thermometer(int bits) {
+  if (bits < 1 || bits > 6) {
+    throw std::invalid_argument("ValueCodec::thermometer: bits in [1, 6]");
+  }
+  const std::size_t levels = std::size_t{1} << bits;
+  const std::size_t thresholds = levels - 1;
+  util::Matrix<int> digits(levels, thresholds, 0);
+  for (std::size_t v = 0; v < levels; ++v) {
+    for (std::size_t t = 0; t < thresholds; ++t) {
+      digits.at(v, t) = v >= t + 1 ? 1 : 0;
+    }
+  }
+  return ValueCodec(std::move(digits),
+                    std::to_string(bits) + "-bit thermometer code");
+}
+
+int CompositeEncoding::nominal_distance(int search_value,
+                                        int stored_value) const {
+  int total = 0;
+  for (std::size_t d = 0; d < codec.subcells(); ++d) {
+    total += base.nominal_current(
+        static_cast<std::size_t>(codec.digit(search_value, d)),
+        static_cast<std::size_t>(codec.digit(stored_value, d)));
+  }
+  return total;
+}
+
+std::optional<CompositeEncoding> make_composite_encoding(
+    csp::DistanceMetric metric, int bits, const EncoderOptions& options) {
+  std::optional<ValueCodec> codec;
+  switch (metric) {
+    case csp::DistanceMetric::kHamming:
+      codec = ValueCodec::bit_sliced(bits);
+      break;
+    case csp::DistanceMetric::kManhattan:
+      codec = ValueCodec::thermometer(bits);
+      break;
+    case csp::DistanceMetric::kEuclideanSquared:
+      return std::nullopt;  // (a-b)^2 has cross terms: not separable
+  }
+
+  // The sub-cell computes 1-bit Hamming for both codecs: bit-sliced HD
+  // sums bitwise mismatches, thermometer L1 sums indicator mismatches.
+  const auto base_dm =
+      csp::DistanceMatrix::make(csp::DistanceMetric::kHamming, 1);
+  auto base = encode_distance_matrix(base_dm, options);
+  if (!base) return std::nullopt;
+
+  CompositeEncoding composite{std::move(*base), std::move(*codec), metric,
+                              bits};
+  return composite;
+}
+
+}  // namespace ferex::encode

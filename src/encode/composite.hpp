@@ -1,0 +1,99 @@
+// Composite (digit-decomposed) encodings — scaling FeReX beyond the
+// monolithic CSP's reach.
+//
+// Algorithm 1 is exact but exponential in cell size: an 8x8 (3-bit)
+// distance matrix already exceeds any practical pattern budget (see
+// EncoderReport::resource_limited). The paper notes its scheme "has also
+// been extended to other distance functions such as multi-bit Manhattan
+// and multi-bit Euclidean"; this module provides the principled extension
+// for *separable* metrics:
+//
+//   * Hamming over b bits is bit-separable:
+//       HD(a, b) = sum_i HD_1bit(a_i, b_i)
+//     so a b-bit cell is b independent 1-bit sub-cells — cell size grows
+//     LINEARLY in b instead of the CSP blowing up.
+//
+//   * Manhattan over b bits is separable under the thermometer (unary)
+//     code:
+//       |a - b| = sum_{t=1}^{2^b - 1} | 1[a >= t] - 1[b >= t] |
+//     i.e. L1 equals 1-bit Hamming over 2^b - 1 thermometer digits.
+//
+//   * Euclidean-squared is NOT digit-separable ((a-b)^2 has cross terms);
+//     it stays on the exact monolithic path, which covers b <= 2.
+//
+// A ValueCodec maps each logical element value to the vector of sub-cell
+// values; the physical array simply stores `subcells` adjacent cells per
+// logical element, each configured with the 1-bit base encoding. Because
+// the row current is the sum over all cells, the composite cell computes
+// the metric exactly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "csp/distance_matrix.hpp"
+#include "encode/encoder.hpp"
+#include "encode/encoding_table.hpp"
+#include "util/matrix.hpp"
+
+namespace ferex::encode {
+
+/// Maps logical element values to per-sub-cell stored/search values.
+class ValueCodec {
+ public:
+  /// @param digits  [value][subcell] -> sub-cell value (in the base
+  ///                encoding's alphabet)
+  /// @param name    human-readable description
+  ValueCodec(util::Matrix<int> digits, std::string name);
+
+  std::size_t logical_levels() const noexcept { return digits_.rows(); }
+  std::size_t subcells() const noexcept { return digits_.cols(); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Sub-cell value of `value` at digit position `subcell`.
+  int digit(int value, std::size_t subcell) const;
+
+  /// Expands a logical vector to the physical sub-cell vector
+  /// (length = input.size() * subcells()).
+  std::vector<int> expand(std::span<const int> logical) const;
+
+  /// Identity codec (1 sub-cell per element) over `levels` values.
+  static ValueCodec identity(std::size_t levels);
+
+  /// Binary bit-slicing: value -> its b bits, LSB first.
+  static ValueCodec bit_sliced(int bits);
+
+  /// Thermometer (unary) code: value -> 2^bits - 1 indicator digits.
+  static ValueCodec thermometer(int bits);
+
+ private:
+  util::Matrix<int> digits_;
+  std::string name_;
+};
+
+/// A composite encoding: a base cell encoding applied per sub-cell plus
+/// the codec that addresses it.
+struct CompositeEncoding {
+  CellEncoding base;   ///< the per-sub-cell (typically 1-bit) encoding
+  ValueCodec codec;    ///< logical value -> sub-cell values
+  csp::DistanceMetric metric = csp::DistanceMetric::kHamming;
+  int bits = 1;
+
+  /// Total FeFETs per logical element.
+  std::size_t fefets_per_element() const noexcept {
+    return base.fefets_per_cell() * codec.subcells();
+  }
+
+  /// The distance the composite cell computes for (search, stored) —
+  /// must equal the metric's reference distance.
+  int nominal_distance(int search_value, int stored_value) const;
+};
+
+/// Builds the composite encoding for a separable metric at any bit width
+/// (Hamming: any b in [1, 8]; Manhattan: b in [1, 6] — 63 sub-cells at
+/// b = 6). Returns nullopt for non-separable metrics (Euclidean).
+std::optional<CompositeEncoding> make_composite_encoding(
+    csp::DistanceMetric metric, int bits,
+    const EncoderOptions& options = {});
+
+}  // namespace ferex::encode

@@ -1,0 +1,174 @@
+#include "encode/encoder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "csp/errors.hpp"
+
+namespace ferex::encode {
+
+namespace {
+
+/// ON-set of FeFET i for stored value sto, over all search rows, as a
+/// bitmask (search rows fit comfortably in 64 bits for b <= 6).
+std::vector<std::uint64_t> on_masks_by_sto(
+    const std::vector<csp::RowPattern>& solution, std::size_t fefet,
+    std::size_t stored_count) {
+  std::vector<std::uint64_t> masks(stored_count, 0);
+  for (std::size_t sch = 0; sch < solution.size(); ++sch) {
+    for (std::size_t sto = 0; sto < stored_count; ++sto) {
+      if (solution[sch].is_on(sto, fefet)) {
+        masks[sto] |= (std::uint64_t{1} << sch);
+      }
+    }
+  }
+  return masks;
+}
+
+}  // namespace
+
+CellEncoding encode_solution(const std::vector<csp::RowPattern>& solution,
+                             std::string name) {
+  if (solution.empty()) {
+    throw std::invalid_argument("encode_solution: empty solution");
+  }
+  const std::size_t search_count = solution.size();
+  if (search_count > 64) {
+    throw std::invalid_argument("encode_solution: > 64 search rows");
+  }
+  const std::size_t stored_count = solution.front().stored_count();
+  const std::size_t k = solution.front().fefet_count();
+
+  util::Matrix<int> store_levels(stored_count, k, 0);
+  util::Matrix<int> search_levels(search_count, k, 0);
+  util::Matrix<int> vds(search_count, k, 1);
+  std::size_t ladder_levels = 1;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto masks = on_masks_by_sto(solution, i, stored_count);
+
+    // Rank stored columns by ON count, descending: more ON states ->
+    // lower Vth (Fig. 5). Nestedness makes the count a faithful proxy for
+    // set inclusion; equal counts must be identical sets.
+    std::vector<int> counts(stored_count);
+    for (std::size_t sto = 0; sto < stored_count; ++sto) {
+      counts[sto] = std::popcount(masks[sto]);
+    }
+    std::vector<int> unique_counts(counts.begin(), counts.end());
+    std::sort(unique_counts.begin(), unique_counts.end(), std::greater<>());
+    unique_counts.erase(
+        std::unique(unique_counts.begin(), unique_counts.end()),
+        unique_counts.end());
+
+    for (std::size_t sto = 0; sto < stored_count; ++sto) {
+      const auto it = std::find(unique_counts.begin(), unique_counts.end(),
+                                counts[sto]);
+      store_levels.at(sto, i) =
+          static_cast<int>(std::distance(unique_counts.begin(), it));
+    }
+    // Equal counts must mean equal ON-sets, otherwise constraint 3 was
+    // violated upstream.
+    for (std::size_t a = 0; a < stored_count; ++a) {
+      for (std::size_t b = a + 1; b < stored_count; ++b) {
+        if (counts[a] == counts[b] && masks[a] != masks[b]) {
+          throw std::invalid_argument(
+              "encode_solution: non-nested ON-sets (constraint 3 violated)");
+        }
+      }
+    }
+
+    // Search level: just above the highest threshold level it must turn
+    // ON (equivalently the paper's OFF-count ranking).
+    for (std::size_t sch = 0; sch < search_count; ++sch) {
+      int level = 0;
+      for (std::size_t sto = 0; sto < stored_count; ++sto) {
+        if (solution[sch].is_on(sto, i)) {
+          level = std::max(level, store_levels.at(sto, i) + 1);
+        }
+      }
+      search_levels.at(sch, i) = level;
+      ladder_levels = std::max(ladder_levels, static_cast<std::size_t>(level) + 1);
+      const int on_current = solution[sch].on_current(i);
+      vds.at(sch, i) = on_current > 0 ? on_current : 1;
+    }
+    ladder_levels = std::max(
+        ladder_levels, static_cast<std::size_t>(unique_counts.size()));
+
+    // Verify the threshold representation reproduces the ON/OFF pattern.
+    for (std::size_t sch = 0; sch < search_count; ++sch) {
+      for (std::size_t sto = 0; sto < stored_count; ++sto) {
+        const bool want = solution[sch].is_on(sto, i);
+        const bool got = store_levels.at(sto, i) < search_levels.at(sch, i);
+        if (want != got) {
+          throw std::invalid_argument(
+              "encode_solution: no threshold representation exists "
+              "(constraint 3 violated)");
+        }
+      }
+    }
+  }
+
+  return CellEncoding(std::move(store_levels), std::move(search_levels),
+                      std::move(vds), ladder_levels, std::move(name));
+}
+
+std::optional<CellEncoding> encode_distance_matrix(
+    const csp::DistanceMatrix& dm, const EncoderOptions& options,
+    EncoderReport* report) {
+  std::vector<int> current_range(
+      static_cast<std::size_t>(std::max(options.max_vds_multiple, 1)));
+  std::iota(current_range.begin(), current_range.end(), 1);
+
+  for (int k = 1; k <= options.max_fefets_per_cell; ++k) {
+    csp::FeasibilityOptions fopt;
+    fopt.use_ac3 = options.use_ac3;
+    // Enumerate a handful of solutions and keep the one needing the
+    // fewest voltage levels (then the smallest drain-DAC range): the
+    // paper's Table II solution uses 3 levels, and fewer levels means
+    // wider noise margins on real devices.
+    fopt.solution_limit = 64;
+    csp::FeasibilityResult result;
+    try {
+      result = csp::detect_feasibility(dm, k, current_range, fopt);
+    } catch (const csp::ResourceLimitError&) {
+      // Larger k only enlarge the pattern space; stop the iteration and
+      // report the boundary instead of burning unbounded time.
+      if (report) {
+        report->resource_limited = true;
+        report->resource_limited_at_k = k;
+      }
+      return std::nullopt;
+    }
+    if (!result.feasible) {
+      if (report) report->rejected_k.push_back(k);
+      continue;
+    }
+    if (report) {
+      report->fefets_per_cell = k;
+      report->csp_stats = result.stats;
+      report->feasible_region_min = result.feasible_region.empty()
+                                        ? 0
+                                        : result.feasible_region.front().size();
+      for (const auto& domain : result.feasible_region) {
+        report->feasible_region_min =
+            std::min(report->feasible_region_min, domain.size());
+      }
+    }
+    std::optional<CellEncoding> best;
+    for (const auto& solution : result.solutions) {
+      auto candidate = encode_solution(solution, dm.name());
+      const auto key = [](const CellEncoding& e) {
+        return std::pair{e.ladder_levels(), e.max_vds_multiple()};
+      };
+      if (!best || key(candidate) < key(*best)) best = std::move(candidate);
+    }
+    return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ferex::encode

@@ -1,0 +1,55 @@
+// The FeReX encoder — Fig. 3 workflow + Fig. 5 post-processing.
+//
+// Given a target distance matrix, the encoder:
+//   1. iterates the number k of FeFETs per cell upward (the paper:
+//      "FeReX iteratively increases the number of FeFETs within a cell");
+//   2. runs Algorithm 1 (csp::detect_feasibility) for each k;
+//   3. post-processes the first feasible solution into voltage level
+//      assignments: stored columns ranked by ON count -> lower Vth for
+//      higher rank; search rows ranked by OFF count -> lower Vs for
+//      higher rank; Vds multiples from the non-zero decomposed currents.
+#pragma once
+
+#include <optional>
+
+#include "csp/feasibility.hpp"
+#include "encode/encoding_table.hpp"
+
+namespace ferex::encode {
+
+struct EncoderOptions {
+  int max_fefets_per_cell = 6;  ///< upper bound for the k iteration
+  /// Drain DAC range: CR = {1, ..., this}. 5 covers all three standard
+  /// metrics at 2 bits (Euclidean-squared entries reach 9 = 4 + 5); the
+  /// encoder still prefers solutions with the smallest range used.
+  int max_vds_multiple = 5;
+  bool use_ac3 = true;          ///< pass-through to Algorithm 1
+};
+
+struct EncoderReport {
+  int fefets_per_cell = 0;          ///< the k that succeeded
+  csp::CspStats csp_stats{};        ///< solver statistics at that k
+  std::size_t feasible_region_min = 0;  ///< smallest per-row domain size
+  std::vector<int> rejected_k;      ///< cell sizes that were infeasible
+  /// Set when the k iteration stopped because the exact CSP exceeded its
+  /// pattern budget (instance too large for Algorithm 1), with the k at
+  /// which it happened. Distinct from proven infeasibility.
+  bool resource_limited = false;
+  int resource_limited_at_k = 0;
+};
+
+/// Derives a CellEncoding from one concrete CSP solution (exposed
+/// separately so tests can exercise the Fig. 5 post-processing alone).
+///
+/// Throws std::invalid_argument if the solution violates constraint 3
+/// (non-nested ON-sets), which a correct Algorithm 1 never produces.
+CellEncoding encode_solution(const std::vector<csp::RowPattern>& solution,
+                             std::string name);
+
+/// Full encoder: returns the encoding plus a report, or nullopt if no
+/// cell size up to the limit can realize the DM.
+std::optional<CellEncoding> encode_distance_matrix(
+    const csp::DistanceMatrix& dm, const EncoderOptions& options = {},
+    EncoderReport* report = nullptr);
+
+}  // namespace ferex::encode

@@ -1,0 +1,93 @@
+#include "encode/encoding_table.hpp"
+
+#include <stdexcept>
+
+namespace ferex::encode {
+
+CellEncoding::CellEncoding(util::Matrix<int> store_levels,
+                           util::Matrix<int> search_levels,
+                           util::Matrix<int> vds_multiples,
+                           std::size_t ladder_levels, std::string name)
+    : store_levels_(std::move(store_levels)),
+      search_levels_(std::move(search_levels)),
+      vds_multiples_(std::move(vds_multiples)),
+      ladder_levels_(ladder_levels),
+      name_(std::move(name)) {
+  if (store_levels_.cols() != search_levels_.cols() ||
+      search_levels_.rows() != vds_multiples_.rows() ||
+      search_levels_.cols() != vds_multiples_.cols()) {
+    throw std::invalid_argument("CellEncoding: inconsistent shapes");
+  }
+  for (int m : vds_multiples_.flat()) {
+    if (m < 1) throw std::invalid_argument("CellEncoding: Vds multiple < 1");
+    max_vds_multiple_ = std::max(max_vds_multiple_, m);
+  }
+  for (int lvl : store_levels_.flat()) {
+    if (lvl < 0 || static_cast<std::size_t>(lvl) >= ladder_levels_) {
+      throw std::invalid_argument("CellEncoding: store level out of range");
+    }
+  }
+  for (int lvl : search_levels_.flat()) {
+    if (lvl < 0 || static_cast<std::size_t>(lvl) >= ladder_levels_) {
+      throw std::invalid_argument("CellEncoding: search level out of range");
+    }
+  }
+}
+
+int CellEncoding::nominal_current(std::size_t sch, std::size_t sto) const {
+  int total = 0;
+  for (std::size_t i = 0; i < fefets_per_cell(); ++i) {
+    // ON iff stored threshold level < applied search level.
+    if (store_levels_.at(sto, i) < search_levels_.at(sch, i)) {
+      total += vds_multiples_.at(sch, i);
+    }
+  }
+  return total;
+}
+
+bool CellEncoding::realizes(const csp::DistanceMatrix& dm) const {
+  if (dm.search_count() != search_count() ||
+      dm.stored_count() != stored_count()) {
+    return false;
+  }
+  for (std::size_t sch = 0; sch < search_count(); ++sch) {
+    for (std::size_t sto = 0; sto < stored_count(); ++sto) {
+      if (nominal_current(sch, sto) != dm.at(sch, sto)) return false;
+    }
+  }
+  return true;
+}
+
+util::TextTable CellEncoding::to_text_table() const {
+  std::vector<std::string> header{"value"};
+  const std::size_t k = fefets_per_cell();
+  for (std::size_t i = 0; i < k; ++i) {
+    header.push_back("Vth,FET" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    header.push_back("Vg,FET" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    header.push_back("Vds,FET" + std::to_string(i + 1));
+  }
+  util::TextTable table(std::move(header));
+  const std::size_t n = std::min(stored_count(), search_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<std::string> row;
+    row.push_back("\"" + std::to_string(v) + "\"");
+    for (std::size_t i = 0; i < k; ++i) {
+      row.push_back("Vt" + std::to_string(store_level(v, i)));
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      row.push_back("Vs" + std::to_string(search_level(v, i)));
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const int m = vds_multiple(v, i);
+      row.push_back(m == 1 ? "V" : std::to_string(m) + "V");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ferex::encode

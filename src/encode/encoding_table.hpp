@@ -1,0 +1,73 @@
+// The encoding table — FeReX's final configuration artifact (Table II).
+//
+// For every stored value: the Vth level programmed into each FeFET of the
+// cell. For every search value: the gate (Vs) level and the drain-voltage
+// multiple applied to each FeFET. Levels are indices into a
+// device::VoltageLadder; a FeFET at threshold level t conducts under
+// search level s iff t < s.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "csp/distance_matrix.hpp"
+#include "util/matrix.hpp"
+#include "util/table.hpp"
+
+namespace ferex::encode {
+
+class CellEncoding {
+ public:
+  /// @param store_levels   [sto][fefet] -> Vth level index
+  /// @param search_levels  [sch][fefet] -> Vs level index
+  /// @param vds_multiples  [sch][fefet] -> drain-voltage multiple (>= 1)
+  /// @param ladder_levels  number of distinct levels the ladder must offer
+  /// @param name           human-readable description (e.g. the DM name)
+  CellEncoding(util::Matrix<int> store_levels, util::Matrix<int> search_levels,
+               util::Matrix<int> vds_multiples, std::size_t ladder_levels,
+               std::string name);
+
+  std::size_t stored_count() const noexcept { return store_levels_.rows(); }
+  std::size_t search_count() const noexcept { return search_levels_.rows(); }
+  std::size_t fefets_per_cell() const noexcept { return store_levels_.cols(); }
+
+  /// Number of distinct Vt/Vs ladder levels required.
+  std::size_t ladder_levels() const noexcept { return ladder_levels_; }
+
+  /// Largest drain-voltage multiple used (DAC range requirement).
+  int max_vds_multiple() const noexcept { return max_vds_multiple_; }
+
+  int store_level(std::size_t sto, std::size_t fefet) const {
+    return store_levels_.at(sto, fefet);
+  }
+  int search_level(std::size_t sch, std::size_t fefet) const {
+    return search_levels_.at(sch, fefet);
+  }
+  int vds_multiple(std::size_t sch, std::size_t fefet) const {
+    return vds_multiples_.at(sch, fefet);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Nominal (variation-free) cell current, in unit-current multiples, for
+  /// a search value applied against a stored value. This is the value the
+  /// physical cell is expected to produce; equals the DM entry when the
+  /// encoding is correct.
+  int nominal_current(std::size_t sch, std::size_t sto) const;
+
+  /// Checks this encoding reproduces a distance matrix exactly.
+  bool realizes(const csp::DistanceMatrix& dm) const;
+
+  /// Renders the Table-II-style encoding table (Vt_i / Vs_j / m*V cells).
+  util::TextTable to_text_table() const;
+
+ private:
+  util::Matrix<int> store_levels_;
+  util::Matrix<int> search_levels_;
+  util::Matrix<int> vds_multiples_;
+  std::size_t ladder_levels_ = 0;
+  int max_vds_multiple_ = 1;
+  std::string name_;
+};
+
+}  // namespace ferex::encode

@@ -1,0 +1,109 @@
+#include "encode/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ferex::encode {
+
+namespace {
+
+constexpr const char* kMagic = "ferex-encoding v1";
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("from_text: line " + std::to_string(line) +
+                              ": " + what);
+}
+
+/// Reads one non-empty line, tracking the line number.
+bool next_line(std::istringstream& in, std::string& out, std::size_t& line) {
+  while (std::getline(in, out)) {
+    ++line;
+    if (!out.empty()) return true;
+  }
+  return false;
+}
+
+util::Matrix<int> read_matrix(std::istringstream& in, std::size_t rows,
+                              std::size_t cols, const char* label,
+                              std::size_t& line) {
+  std::string text;
+  if (!next_line(in, text, line) || text != label) {
+    fail(line, std::string("expected section '") + label + "'");
+  }
+  util::Matrix<int> m(rows, cols, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!next_line(in, text, line)) fail(line, "unexpected end of input");
+    std::istringstream row(text);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!(row >> m.at(r, c))) fail(line, "expected integer");
+    }
+    int extra;
+    if (row >> extra) fail(line, "trailing data");
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string to_text(const CellEncoding& encoding) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "name " << encoding.name() << '\n';
+  out << "shape " << encoding.stored_count() << ' '
+      << encoding.search_count() << ' ' << encoding.fefets_per_cell() << ' '
+      << encoding.ladder_levels() << '\n';
+  const auto dump = [&](const char* label, auto getter, std::size_t rows) {
+    out << label << '\n';
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < encoding.fefets_per_cell(); ++c) {
+        if (c > 0) out << ' ';
+        out << getter(r, c);
+      }
+      out << '\n';
+    }
+  };
+  dump("store_levels",
+       [&](std::size_t r, std::size_t c) { return encoding.store_level(r, c); },
+       encoding.stored_count());
+  dump("search_levels",
+       [&](std::size_t r, std::size_t c) { return encoding.search_level(r, c); },
+       encoding.search_count());
+  dump("vds_multiples",
+       [&](std::size_t r, std::size_t c) { return encoding.vds_multiple(r, c); },
+       encoding.search_count());
+  return out.str();
+}
+
+CellEncoding from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string current;
+  std::size_t line = 0;
+
+  if (!next_line(in, current, line) || current != kMagic) {
+    fail(line, "bad magic (expected '" + std::string(kMagic) + "')");
+  }
+  if (!next_line(in, current, line) || current.rfind("name ", 0) != 0) {
+    fail(line, "expected 'name <...>'");
+  }
+  const std::string name = current.substr(5);
+
+  if (!next_line(in, current, line) || current.rfind("shape ", 0) != 0) {
+    fail(line, "expected 'shape <stored> <search> <fefets> <levels>'");
+  }
+  std::istringstream shape(current.substr(6));
+  std::size_t stored = 0, search = 0, fefets = 0, levels = 0;
+  if (!(shape >> stored >> search >> fefets >> levels) || stored == 0 ||
+      search == 0 || fefets == 0 || levels == 0) {
+    fail(line, "bad shape values");
+  }
+
+  auto store_levels = read_matrix(in, stored, fefets, "store_levels", line);
+  auto search_levels = read_matrix(in, search, fefets, "search_levels", line);
+  auto vds = read_matrix(in, search, fefets, "vds_multiples", line);
+
+  // CellEncoding's constructor re-validates ranges.
+  return CellEncoding(std::move(store_levels), std::move(search_levels),
+                      std::move(vds), levels, name);
+}
+
+}  // namespace ferex::encode

@@ -1,0 +1,29 @@
+// Text serialization of cell encodings.
+//
+// The CSP encoder is the expensive part of configuring FeReX; a deployed
+// system derives an encoding once and ships it to the array controller.
+// This module round-trips CellEncoding through a small line-based text
+// format (versioned, self-describing, diff-friendly).
+//
+//   ferex-encoding v1
+//   name <free text to end of line>
+//   shape <stored> <search> <fefets> <levels>
+//   store_levels  — <stored> lines of <fefets> ints
+//   search_levels — <search> lines of <fefets> ints
+//   vds_multiples — <search> lines of <fefets> ints
+#pragma once
+
+#include <string>
+
+#include "encode/encoding_table.hpp"
+
+namespace ferex::encode {
+
+/// Serializes an encoding to the versioned text format.
+std::string to_text(const CellEncoding& encoding);
+
+/// Parses the text format; throws std::invalid_argument with a
+/// line-numbered message on any malformed input.
+CellEncoding from_text(const std::string& text);
+
+}  // namespace ferex::encode

@@ -1,0 +1,173 @@
+#include "ml/hdc.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/knn.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::ml {
+
+HdcModel::HdcModel(std::size_t feature_count, std::size_t class_count,
+                   HdcOptions options)
+    : feature_count_(feature_count),
+      class_count_(class_count),
+      options_(options) {
+  if (feature_count == 0 || class_count == 0) {
+    throw std::invalid_argument("HdcModel: empty shape");
+  }
+  if (options_.hypervector_dim == 0) {
+    throw std::invalid_argument("HdcModel: hypervector_dim == 0");
+  }
+  // Random bipolar projection, scaled so encoded components are O(1).
+  util::Rng rng(options_.seed);
+  projection_ = util::Matrix<double>(options_.hypervector_dim, feature_count);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(feature_count));
+  for (double& w : projection_.flat()) {
+    w = rng.bernoulli(0.5) ? scale : -scale;
+  }
+}
+
+std::vector<double> HdcModel::encode(std::span<const double> features) const {
+  if (features.size() != feature_count_) {
+    throw std::invalid_argument("HdcModel::encode: feature count mismatch");
+  }
+  std::vector<double> out(options_.hypervector_dim, 0.0);
+  for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+    const auto row = projection_.row(d);
+    double acc = 0.0;
+    for (std::size_t f = 0; f < feature_count_; ++f) {
+      acc += row[f] * features[f];
+    }
+    out[d] = acc;
+  }
+  return out;
+}
+
+void HdcModel::train(const util::Matrix<double>& train_x,
+                     std::span<const int> train_y) {
+  if (train_x.rows() != train_y.size() || train_x.rows() == 0) {
+    throw std::invalid_argument("HdcModel::train: bad training set");
+  }
+  // Encode once; reuse across the single pass and every refinement epoch.
+  util::Matrix<double> encoded(train_x.rows(), options_.hypervector_dim);
+  for (std::size_t s = 0; s < train_x.rows(); ++s) {
+    const auto h = encode(train_x.row(s));
+    for (std::size_t d = 0; d < h.size(); ++d) encoded.at(s, d) = h[d];
+  }
+
+  // Single-pass training: aggregate the encoded vectors of each class.
+  accumulators_ = util::Matrix<double>(class_count_, options_.hypervector_dim, 0.0);
+  for (std::size_t s = 0; s < encoded.rows(); ++s) {
+    const auto c = static_cast<std::size_t>(train_y[s]);
+    if (c >= class_count_) {
+      throw std::out_of_range("HdcModel::train: label out of range");
+    }
+    for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+      accumulators_.at(c, d) += encoded.at(s, d);
+    }
+  }
+  // Normalize by class counts so prototypes share one scale.
+  std::vector<double> counts(class_count_, 0.0);
+  for (int label : train_y) counts[static_cast<std::size_t>(label)] += 1.0;
+  for (std::size_t c = 0; c < class_count_; ++c) {
+    if (counts[c] == 0.0) continue;
+    for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+      accumulators_.at(c, d) /= counts[c];
+    }
+  }
+
+  quantizer_ = Quantizer::fit(encoded, options_.bits);
+  quantize_prototypes();
+  refine(encoded, train_y);
+  trained_ = true;
+}
+
+void HdcModel::refine(const util::Matrix<double>& encoded,
+                      std::span<const int> train_y) {
+  // Iterative training (perceptron-style): on a miss, pull the true class
+  // prototype toward the sample and push the predicted one away.
+  for (std::size_t epoch = 0; epoch < options_.training_epochs; ++epoch) {
+    std::size_t misses = 0;
+    for (std::size_t s = 0; s < encoded.rows(); ++s) {
+      // Predict against the continuous accumulators (L2) during training.
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < class_count_; ++c) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+          const double diff = accumulators_.at(c, d) - encoded.at(s, d);
+          dist += diff * diff;
+        }
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      const auto truth = static_cast<std::size_t>(train_y[s]);
+      if (best == truth) continue;
+      ++misses;
+      const double lr = options_.learning_rate /
+                        static_cast<double>(encoded.rows());
+      for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+        const double h = encoded.at(s, d);
+        accumulators_.at(truth, d) += lr * (h - accumulators_.at(truth, d));
+        accumulators_.at(best, d) -= lr * (h - accumulators_.at(best, d));
+      }
+    }
+    if (misses == 0) break;
+  }
+  quantize_prototypes();
+}
+
+void HdcModel::quantize_prototypes() {
+  prototypes_ = util::Matrix<int>(class_count_, options_.hypervector_dim, 0);
+  for (std::size_t c = 0; c < class_count_; ++c) {
+    for (std::size_t d = 0; d < options_.hypervector_dim; ++d) {
+      prototypes_.at(c, d) = quantizer_->quantize(accumulators_.at(c, d));
+    }
+  }
+}
+
+const util::Matrix<int>& HdcModel::prototypes() const {
+  if (!trained_) throw std::logic_error("HdcModel: train() first");
+  return prototypes_;
+}
+
+std::vector<int> HdcModel::encode_query(std::span<const double> features) const {
+  if (!trained_) throw std::logic_error("HdcModel: train() first");
+  return quantizer_->quantize(encode(features));
+}
+
+int HdcModel::predict(csp::DistanceMetric metric,
+                      std::span<const double> features) const {
+  const auto query = encode_query(features);
+  long long best_d = std::numeric_limits<long long>::max();
+  int best_c = 0;
+  for (std::size_t c = 0; c < class_count_; ++c) {
+    const long long d = vector_distance(metric, query, prototypes_.row(c));
+    if (d < best_d) {
+      best_d = d;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+double HdcModel::evaluate(csp::DistanceMetric metric,
+                          const util::Matrix<double>& test_x,
+                          std::span<const int> test_y) const {
+  if (test_x.rows() != test_y.size()) {
+    throw std::invalid_argument("HdcModel::evaluate: shape mismatch");
+  }
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < test_x.rows(); ++s) {
+    if (predict(metric, test_x.row(s)) == test_y[s]) ++hits;
+  }
+  return test_x.rows() > 0
+             ? static_cast<double>(hits) / static_cast<double>(test_x.rows())
+             : 0.0;
+}
+
+}  // namespace ferex::ml

@@ -1,0 +1,81 @@
+// Hyperdimensional computing (HDC / VSA) pipeline — Sec. IV-B.
+//
+// The paper's three-step flow:
+//   1. random projection of low-dimensional features to a hyperdimensional
+//      space (holographic representation);
+//   2. single-pass training (aggregate encoded vectors per class) plus
+//      optional iterative refinement for higher accuracy;
+//   3. inference: the class prototype nearest to the encoded query under
+//      the configured distance metric wins — exactly the associative
+//      search FeReX executes in memory.
+//
+// Prototypes and queries are quantized to b-bit integers so they can be
+// programmed into / searched against the multi-bit AM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "csp/distance_matrix.hpp"
+#include "ml/quantize.hpp"
+#include "util/matrix.hpp"
+
+namespace ferex::ml {
+
+struct HdcOptions {
+  std::size_t hypervector_dim = 1024;  ///< D, the projected dimensionality
+  int bits = 2;                        ///< quantization of prototypes/queries
+  std::size_t training_epochs = 3;     ///< iterative refinement passes
+  double learning_rate = 1.0;          ///< prototype update step
+  std::uint64_t seed = 0xd1c0;         ///< projection matrix seed
+};
+
+class HdcModel {
+ public:
+  /// @param feature_count  input dimensionality n
+  /// @param class_count    number of classes K
+  HdcModel(std::size_t feature_count, std::size_t class_count,
+           HdcOptions options);
+
+  std::size_t feature_count() const noexcept { return feature_count_; }
+  std::size_t class_count() const noexcept { return class_count_; }
+  const HdcOptions& options() const noexcept { return options_; }
+
+  /// Projects one sample to the (continuous) hyperdimensional space.
+  std::vector<double> encode(std::span<const double> features) const;
+
+  /// Single-pass aggregation + iterative refinement; fits the quantizer
+  /// on the encoded training distribution.
+  void train(const util::Matrix<double>& train_x, std::span<const int> train_y);
+
+  /// Quantized class prototypes [class][dim] — what gets programmed into
+  /// the FeReX array. Requires train().
+  const util::Matrix<int>& prototypes() const;
+
+  /// Encodes + quantizes a query for the AM.
+  std::vector<int> encode_query(std::span<const double> features) const;
+
+  /// Software inference: nearest prototype under the metric.
+  int predict(csp::DistanceMetric metric, std::span<const double> features) const;
+
+  /// Accuracy of software inference over a test set.
+  double evaluate(csp::DistanceMetric metric, const util::Matrix<double>& test_x,
+                  std::span<const int> test_y) const;
+
+ private:
+  void refine(const util::Matrix<double>& encoded, std::span<const int> train_y);
+  void quantize_prototypes();
+
+  std::size_t feature_count_;
+  std::size_t class_count_;
+  HdcOptions options_;
+  util::Matrix<double> projection_;       ///< [dim][feature] random +-1
+  util::Matrix<double> accumulators_;     ///< continuous class prototypes
+  util::Matrix<int> prototypes_;          ///< quantized class prototypes
+  std::optional<Quantizer> quantizer_;    ///< fitted on encoded train data
+  bool trained_ = false;
+};
+
+}  // namespace ferex::ml

@@ -1,0 +1,82 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ferex::ml {
+
+long long vector_distance(csp::DistanceMetric metric, std::span<const int> a,
+                          std::span<const int> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector_distance: length mismatch");
+  }
+  long long total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += csp::reference_distance(metric, a[i], b[i]);
+  }
+  return total;
+}
+
+std::vector<std::size_t> knn_indices(csp::DistanceMetric metric,
+                                     const util::Matrix<int>& database,
+                                     std::span<const int> query,
+                                     std::size_t k) {
+  if (k == 0 || k > database.rows()) {
+    throw std::invalid_argument("knn_indices: bad k");
+  }
+  std::vector<std::pair<long long, std::size_t>> scored(database.rows());
+  for (std::size_t r = 0; r < database.rows(); ++r) {
+    scored[r] = {vector_distance(metric, query, database.row(r)), r};
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+KnnClassifier::KnnClassifier(util::Matrix<int> database,
+                             std::vector<int> labels)
+    : database_(std::move(database)), labels_(std::move(labels)) {
+  if (database_.rows() != labels_.size()) {
+    throw std::invalid_argument("KnnClassifier: rows != labels");
+  }
+  if (database_.rows() == 0) {
+    throw std::invalid_argument("KnnClassifier: empty database");
+  }
+}
+
+int KnnClassifier::predict(csp::DistanceMetric metric,
+                           std::span<const int> query, std::size_t k) const {
+  const auto neighbors = knn_indices(metric, database_, query, k);
+  std::map<int, std::size_t> votes;
+  for (std::size_t idx : neighbors) ++votes[labels_[idx]];
+  int best_label = labels_[neighbors.front()];
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double KnnClassifier::evaluate(csp::DistanceMetric metric,
+                               const util::Matrix<int>& test_x,
+                               std::span<const int> test_y,
+                               std::size_t k) const {
+  if (test_x.rows() != test_y.size()) {
+    throw std::invalid_argument("KnnClassifier::evaluate: shape mismatch");
+  }
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < test_x.rows(); ++s) {
+    if (predict(metric, test_x.row(s), k) == test_y[s]) ++hits;
+  }
+  return test_x.rows() > 0
+             ? static_cast<double>(hits) / static_cast<double>(test_x.rows())
+             : 0.0;
+}
+
+}  // namespace ferex::ml

@@ -1,0 +1,51 @@
+// Exact k-nearest-neighbor search and classification — the software
+// baseline every FeReX result is checked against, and the workload of the
+// paper's Monte-Carlo robustness study (Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "csp/distance_matrix.hpp"
+#include "util/matrix.hpp"
+
+namespace ferex::ml {
+
+/// Total distance between two equal-length quantized vectors.
+long long vector_distance(csp::DistanceMetric metric, std::span<const int> a,
+                          std::span<const int> b);
+
+/// Indices of the k nearest database rows to the query, nearest first.
+/// Ties broken by lower row index (deterministic).
+std::vector<std::size_t> knn_indices(csp::DistanceMetric metric,
+                                     const util::Matrix<int>& database,
+                                     std::span<const int> query,
+                                     std::size_t k);
+
+/// Brute-force exact KNN classifier over quantized vectors.
+class KnnClassifier {
+ public:
+  /// @param database  [sample][feature] quantized training vectors
+  /// @param labels    per-row class labels
+  KnnClassifier(util::Matrix<int> database, std::vector<int> labels);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+
+  /// Majority vote over the k nearest rows (ties: smallest label).
+  int predict(csp::DistanceMetric metric, std::span<const int> query,
+              std::size_t k) const;
+
+  /// Classification accuracy over a test set.
+  double evaluate(csp::DistanceMetric metric, const util::Matrix<int>& test_x,
+                  std::span<const int> test_y, std::size_t k) const;
+
+  const util::Matrix<int>& database() const noexcept { return database_; }
+  const std::vector<int>& labels() const noexcept { return labels_; }
+
+ private:
+  util::Matrix<int> database_;
+  std::vector<int> labels_;
+};
+
+}  // namespace ferex::ml

@@ -1,0 +1,58 @@
+// Memory-augmented one-shot / few-shot learning (MANN) on the AM.
+//
+// The original application of FeFET associative memories (Ni et al.,
+// Nature Electronics'19; SAPIENS TED'21): an episodic memory stores the
+// few labelled support examples of novel classes, and a query is
+// classified by nearest-neighbor search against that memory — exactly the
+// operation FeReX accelerates, with the distance function now a runtime
+// choice per episode.
+//
+// Episodes follow the standard N-way / k-shot protocol with freshly drawn
+// synthetic classes per episode (the library has no Omniglot, so class
+// prototypes are sampled Gaussians — see data/datasets.hpp for the
+// substitution rationale).
+#pragma once
+
+#include <cstdint>
+
+#include "core/ferex.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::ml {
+
+struct EpisodeSpec {
+  std::size_t ways = 5;               ///< classes per episode (N)
+  std::size_t shots = 1;              ///< support examples per class (k)
+  std::size_t queries_per_class = 5;
+  std::size_t feature_count = 64;
+  double class_separation = 1.2;      ///< prototype distance / noise sigma
+};
+
+/// One episodic task: support set (to store) + query set (to classify).
+struct Episode {
+  util::Matrix<double> support_x;
+  std::vector<int> support_y;
+  util::Matrix<double> query_x;
+  std::vector<int> query_y;
+};
+
+/// Draws a fresh episode: novel class prototypes, then support/query
+/// samples around them.
+Episode make_episode(const EpisodeSpec& spec, util::Rng& rng);
+
+struct FewShotResult {
+  double accuracy = 0.0;       ///< over all episodes and queries
+  std::size_t episodes = 0;
+  std::size_t queries = 0;
+};
+
+/// Runs `episodes` episodic evaluations through a FeReX engine: each
+/// episode quantizes its support set, programs it into the AM, and
+/// classifies queries by in-memory nearest-neighbor vote over the shots.
+/// The engine must already be configured (any metric / bit width).
+FewShotResult evaluate_few_shot(core::FerexEngine& engine,
+                                const EpisodeSpec& spec,
+                                std::size_t episodes, std::uint64_t seed);
+
+}  // namespace ferex::ml

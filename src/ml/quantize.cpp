@@ -1,0 +1,58 @@
+#include "ml/quantize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ferex::ml {
+
+Quantizer::Quantizer(std::vector<double> thresholds, int bits)
+    : thresholds_(std::move(thresholds)), bits_(bits) {}
+
+Quantizer Quantizer::fit(const util::Matrix<double>& train, int bits) {
+  return fit(train.flat(), bits);
+}
+
+Quantizer Quantizer::fit(std::span<const double> values, int bits) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("Quantizer::fit: bits must be in [1, 8]");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("Quantizer::fit: no values");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const int levels = 1 << bits;
+  std::vector<double> thresholds;
+  thresholds.reserve(static_cast<std::size_t>(levels) - 1);
+  for (int level = 1; level < levels; ++level) {
+    const double q = static_cast<double>(level) / levels;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    thresholds.push_back(sorted[idx]);
+  }
+  return Quantizer(std::move(thresholds), bits);
+}
+
+int Quantizer::quantize(double v) const noexcept {
+  // First threshold >= v gives the level (thresholds ascending).
+  const auto it = std::lower_bound(thresholds_.begin(), thresholds_.end(), v);
+  return static_cast<int>(std::distance(thresholds_.begin(), it));
+}
+
+std::vector<int> Quantizer::quantize(std::span<const double> v) const {
+  std::vector<int> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = quantize(v[i]);
+  return out;
+}
+
+util::Matrix<int> Quantizer::quantize(const util::Matrix<double>& m) const {
+  util::Matrix<int> out(m.rows(), m.cols(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out.at(r, c) = quantize(m.at(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace ferex::ml

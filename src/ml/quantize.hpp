@@ -1,0 +1,45 @@
+// Multi-bit feature quantization.
+//
+// The AM stores b-bit integers per cell, so continuous features (raw or
+// hyperdimensional) must be quantized to [0, 2^b). We use per-model
+// equal-probability (quantile) thresholds fitted on training data, which
+// keeps all levels populated regardless of the feature distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ferex::ml {
+
+class Quantizer {
+ public:
+  /// Fits global thresholds on all values of the training matrix.
+  /// bits in [1, 8]; levels = 2^bits.
+  static Quantizer fit(const util::Matrix<double>& train, int bits);
+
+  /// Fits on an explicit sample of values.
+  static Quantizer fit(std::span<const double> values, int bits);
+
+  int bits() const noexcept { return bits_; }
+  int levels() const noexcept { return 1 << bits_; }
+  const std::vector<double>& thresholds() const noexcept { return thresholds_; }
+
+  /// Quantizes one value to its level in [0, levels).
+  int quantize(double v) const noexcept;
+
+  /// Quantizes a whole vector.
+  std::vector<int> quantize(std::span<const double> v) const;
+
+  /// Quantizes every row of a matrix.
+  util::Matrix<int> quantize(const util::Matrix<double>& m) const;
+
+ private:
+  Quantizer(std::vector<double> thresholds, int bits);
+
+  std::vector<double> thresholds_;  ///< ascending; size = levels - 1
+  int bits_ = 1;
+};
+
+}  // namespace ferex::ml

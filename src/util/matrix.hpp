@@ -1,0 +1,59 @@
+// A minimal dense row-major 2-D container. The distance-matrix machinery,
+// crossbar state and HDC prototype banks all use it; it is deliberately
+// simple (no expression templates) — clarity over micro-optimization.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ferex::util {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  const T& operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  std::span<T> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<T> flat() noexcept { return data_; }
+  std::span<const T> flat() const noexcept { return data_; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ferex::util

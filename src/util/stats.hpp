@@ -1,0 +1,49 @@
+// Small statistics helpers used by the Monte-Carlo and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ferex::util {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than 2 samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum; 0 for an empty range.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation percentile, p in [0, 100]. 0 for an empty range.
+double percentile(std::span<const double> xs, double p);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fraction of equal elements between two label vectors (classification
+/// accuracy). Vectors must be the same length; returns 0 for empty input.
+double accuracy(std::span<const int> predicted, std::span<const int> actual);
+
+/// Wilson score interval half-width for a binomial proportion at ~95%.
+double wilson_half_width(double p_hat, std::size_t n) noexcept;
+
+}  // namespace ferex::util

@@ -1,0 +1,42 @@
+// ASCII table formatter used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform, diffable layout.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ferex::util {
+
+/// Column-aligned text table. Rows may be added as pre-formatted strings or
+/// via the variadic helper which stringifies arithmetic values.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Convenience: scientific notation.
+  static std::string sci(double v, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Prints a section banner ("== title ==") used between experiments.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ferex::util

@@ -1,0 +1,54 @@
+// Unit tests for the GPU roofline cost model.
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+
+namespace ferex::baseline {
+namespace {
+
+TEST(GpuModel, OverheadDominatesSmallBatches) {
+  const GpuCostModel model;
+  const auto cost = model.hdc_inference(1, 26, 2048);
+  // One tiny query: latency is essentially the fixed overhead.
+  const double overhead = model.params().framework_overhead_s +
+                          3.0 * model.params().kernel_launch_s;
+  EXPECT_GT(cost.latency_s, overhead);
+  EXPECT_LT(cost.latency_s, overhead * 1.2);
+}
+
+TEST(GpuModel, BandwidthBoundAtLargeBatches) {
+  const GpuCostModel model;
+  const std::size_t batch = 100000, classes = 26, dim = 2048;
+  const auto cost = model.hdc_inference(batch, classes, dim);
+  const double bytes = static_cast<double>(batch) * dim * 4.0;
+  const double t_mem_floor = bytes / model.params().mem_bandwidth_b_per_s;
+  EXPECT_GT(cost.latency_s, t_mem_floor);
+}
+
+TEST(GpuModel, LatencyMonotoneInBatch) {
+  const GpuCostModel model;
+  double prev = 0.0;
+  for (std::size_t batch : {1u, 10u, 100u, 1000u, 10000u}) {
+    const auto cost = model.hdc_inference(batch, 26, 2048);
+    EXPECT_GE(cost.latency_s, prev);
+    prev = cost.latency_s;
+  }
+}
+
+TEST(GpuModel, EnergyPositiveAndScales) {
+  const GpuCostModel model;
+  const auto small = model.hdc_inference(10, 26, 2048);
+  const auto large = model.hdc_inference(10000, 26, 2048);
+  EXPECT_GT(small.energy_j, 0.0);
+  EXPECT_GT(large.energy_j, small.energy_j);
+}
+
+TEST(GpuModel, Int8HalvesTrafficVersusFp32) {
+  const GpuCostModel model;
+  const auto fp32 = model.hdc_inference(100000, 26, 2048, 4);
+  const auto int8 = model.hdc_inference(100000, 26, 2048, 1);
+  EXPECT_LT(int8.latency_s, fp32.latency_s);
+}
+
+}  // namespace
+}  // namespace ferex::baseline

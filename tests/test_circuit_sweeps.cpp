@@ -1,0 +1,191 @@
+// Parameterized sweeps over the circuit substrate: energy/delay model
+// monotonicity across the Fig. 6 grid, crossbar geometry equivalence,
+// LTA statistics, parasitics linearity and write-driver scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/energy_model.hpp"
+#include "circuit/lta.hpp"
+#include "circuit/parasitics.hpp"
+#include "circuit/write.hpp"
+#include "encode/encoder.hpp"
+#include "ml/knn.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::circuit {
+namespace {
+
+// ----------------------------------------------- energy/delay grid ---
+
+struct GeometryCase {
+  std::size_t rows;
+  std::size_t dims;
+};
+
+class EnergyGrid : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(EnergyGrid, CostsArePositiveAndFinite) {
+  const auto& p = GetParam();
+  const EnergyDelayModel model;
+  SearchOpSpec spec;
+  spec.rows = p.rows;
+  spec.dims = p.dims;
+  const auto cost = model.search_op(spec);
+  EXPECT_GT(cost.total_energy_j(), 0.0);
+  EXPECT_GT(cost.total_delay_s(), 0.0);
+  EXPECT_TRUE(std::isfinite(cost.total_energy_j()));
+  EXPECT_TRUE(std::isfinite(cost.total_delay_s()));
+  // Component sums match the totals.
+  EXPECT_NEAR(cost.array_energy_j + cost.driver_energy_j +
+                  cost.opamp_energy_j + cost.lta_energy_j +
+                  cost.periphery_energy_j,
+              cost.total_energy_j(), cost.total_energy_j() * 1e-12);
+  EXPECT_NEAR(cost.scl_settle_s + cost.lta_delay_s, cost.total_delay_s(),
+              cost.total_delay_s() * 1e-12);
+}
+
+TEST_P(EnergyGrid, MoreRowsNeverRaiseEnergyPerBit) {
+  const auto& p = GetParam();
+  const EnergyDelayModel model;
+  SearchOpSpec spec;
+  spec.rows = p.rows;
+  spec.dims = p.dims;
+  SearchOpSpec doubled = spec;
+  doubled.rows *= 2;
+  EXPECT_LE(model.search_op(doubled).energy_per_bit_j(doubled),
+            model.search_op(spec).energy_per_bit_j(spec) * 1.02);
+}
+
+TEST_P(EnergyGrid, WiderArraysSettleSlower) {
+  const auto& p = GetParam();
+  const EnergyDelayModel model;
+  SearchOpSpec spec;
+  spec.rows = p.rows;
+  spec.dims = p.dims;
+  SearchOpSpec wider = spec;
+  wider.dims *= 2;
+  EXPECT_GT(model.search_op(wider).scl_settle_s,
+            model.search_op(spec).scl_settle_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Grid, EnergyGrid,
+    ::testing::Values(GeometryCase{16, 64}, GeometryCase{16, 1024},
+                      GeometryCase{64, 256}, GeometryCase{128, 512},
+                      GeometryCase{256, 64}, GeometryCase{256, 1024}),
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.rows) + "d" +
+             std::to_string(param_info.param.dims);
+    });
+
+// ------------------------------------------- crossbar geometry law ---
+
+class CrossbarGeometry : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(CrossbarGeometry, SensedDistancesTrackNominalAcrossGeometry) {
+  const auto& p = GetParam();
+  const auto dm = csp::DistanceMatrix::make(csp::DistanceMetric::kHamming, 2);
+  const auto enc = encode::encode_distance_matrix(dm);
+  ASSERT_TRUE(enc.has_value());
+  const device::VoltageLadder ladder(enc->ladder_levels());
+  CrossbarConfig config;
+  config.variation.enabled = false;
+  config.fet.ss_mv_per_dec = 15.0;
+  config.opamp.output_res_ohm = 0.0;
+  util::Rng rng(p.rows * 131 + p.dims);
+  CrossbarArray array(p.rows, p.dims, *enc, ladder, config, rng);
+  std::vector<int> row(p.dims);
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_below(4));
+    array.program_row(r, row);
+  }
+  std::vector<int> query(p.dims);
+  for (auto& v : query) v = static_cast<int>(rng.uniform_below(4));
+  const auto currents = array.search(query);
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    EXPECT_NEAR(currents[r] / array.unit_current_a(),
+                array.nominal_distance(query, r), 0.01)
+        << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CrossbarGeometry,
+    ::testing::Values(GeometryCase{1, 1}, GeometryCase{2, 64},
+                      GeometryCase{16, 16}, GeometryCase{8, 256}),
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.rows) + "d" +
+             std::to_string(param_info.param.dims);
+    });
+
+// -------------------------------------------------- LTA statistics ---
+
+TEST(LtaStatistics, FlipProbabilityMatchesGaussianModel) {
+  // Two rows one unit apart with offset sigma 0.25 units: the decision
+  // flips when the NOISE DIFFERENCE exceeds 1 unit, i.e. with
+  // probability Phi(-1 / (0.25 * sqrt(2))) ~= 0.23 %.
+  LtaParams params;
+  params.offset_sigma_rel = 0.25;
+  const LtaCircuit lta(params);
+  util::Rng rng(4242);
+  int flips = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<double> currents{1.0, 2.0};
+    if (lta.decide(currents, 1.0, &rng).winner != 0) ++flips;
+  }
+  const double rate = static_cast<double>(flips) / trials;
+  EXPECT_NEAR(rate, 0.0023, 0.0015);
+}
+
+TEST(LtaStatistics, DecideKEquivalentToFullSortWhenNoiseless) {
+  const LtaCircuit lta;
+  util::Rng rng(7);
+  std::vector<double> currents(50);
+  for (auto& c : currents) c = rng.uniform(0.0, 1.0);
+  const auto ranked = lta.decide_k(currents, 1.0, 50, nullptr);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(currents[ranked[i - 1]], currents[ranked[i]]);
+  }
+}
+
+// ------------------------------------------- parasitics linearity ---
+
+TEST(ParasiticsLaw, SclCapacitanceLinearInColumns) {
+  const Parasitics a(64, 100), b(64, 200), c(64, 300);
+  EXPECT_NEAR(b.scl_cap_f() - a.scl_cap_f(), c.scl_cap_f() - b.scl_cap_f(),
+              1e-21);
+}
+
+TEST(ParasiticsLaw, DlCapacitanceLinearInRows) {
+  const Parasitics a(50, 64), b(100, 64), c(150, 64);
+  EXPECT_NEAR(b.dl_cap_f() - a.dl_cap_f(), c.dl_cap_f() - b.dl_cap_f(),
+              1e-21);
+}
+
+// --------------------------------------------- write-driver scaling ---
+
+TEST(WriteScaling, EnergyGrowsWithRowWidth) {
+  const WriteDriver driver;
+  const std::vector<double> narrow{0.8, 1.2};
+  std::vector<double> wide(64, 1.0);
+  EXPECT_GT(driver.program_row(wide).energy_j,
+            driver.program_row(narrow).energy_j);
+}
+
+TEST(WriteScaling, DisturbMarginScalesWithCoerciveHeadroom) {
+  // The further Vwrite/2 sits below Vc, the larger the inhibit margin.
+  WriteDriverParams tight, comfy;
+  tight.device.coercive_v = tight.device.write_v / 2.0 + 0.05;
+  comfy.device.coercive_v = comfy.device.write_v / 2.0 + 1.0;
+  const auto tight_report = WriteDriver(tight).disturb_after(10000);
+  const auto comfy_report = WriteDriver(comfy).disturb_after(10000);
+  EXPECT_TRUE(tight_report.disturb_free);
+  EXPECT_TRUE(comfy_report.disturb_free);
+  EXPECT_LT(tight_report.inhibit_voltage_v, tight.device.coercive_v);
+}
+
+}  // namespace
+}  // namespace ferex::circuit

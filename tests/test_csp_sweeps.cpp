@@ -1,0 +1,181 @@
+// Parameterized sweeps over the CSP layer: the generic engine on classic
+// problems with known solution counts, decomposition algebra across the
+// (k, value, CR) grid, budget-boundary behaviour, and distance-matrix
+// families at every bit width.
+#include <gtest/gtest.h>
+
+#include "csp/binary_csp.hpp"
+#include "csp/decompose.hpp"
+#include "csp/distance_matrix.hpp"
+#include "csp/errors.hpp"
+#include "csp/feasibility.hpp"
+#include "csp/row_pattern.hpp"
+
+namespace ferex::csp {
+namespace {
+
+// ------------------------------------------------- n-queens engine ---
+
+/// N-queens as a BinaryCsp: variable = column, value = row.
+BinaryCsp make_queens(std::size_t n) {
+  std::vector<std::size_t> domains(n, n);
+  return BinaryCsp(std::move(domains),
+                   [](std::size_t a, std::size_t va, std::size_t b,
+                      std::size_t vb) {
+                     if (va == vb) return false;  // same row
+                     const auto col_diff = a > b ? a - b : b - a;
+                     const auto row_diff = va > vb ? va - vb : vb - va;
+                     return col_diff != row_diff;  // not on a diagonal
+                   });
+}
+
+class QueensSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QueensSweep, SolutionCountMatchesKnownSequence) {
+  const auto [n, expected] = GetParam();
+  auto csp = make_queens(static_cast<std::size_t>(n));
+  EXPECT_EQ(csp.solve_all(0).size(), static_cast<std::size_t>(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(KnownCounts, QueensSweep,
+                         ::testing::Values(std::pair{4, 2}, std::pair{5, 10},
+                                           std::pair{6, 4}, std::pair{7, 40}),
+                         [](const auto& param_info) {
+                           return "N" + std::to_string(param_info.param.first);
+                         });
+
+TEST(QueensEngine, Ac3AloneCannotSolveButSearchCan) {
+  auto csp = make_queens(6);
+  EXPECT_TRUE(csp.ac3());  // arc consistency leaves domains non-empty
+  EXPECT_TRUE(csp.solve().has_value());
+}
+
+TEST(QueensEngine, ThreeQueensIsInfeasible) {
+  auto csp = make_queens(3);
+  EXPECT_FALSE(csp.solve().has_value());
+}
+
+// -------------------------------------------- decomposition algebra ---
+
+TEST(DecomposeGrid, ClosedFormForSingleCurrentRange) {
+  // CR = {1}: decompositions of v over k positions = C(k, v).
+  const std::vector<int> cr{1};
+  const auto choose = [](int n, int r) {
+    double acc = 1.0;
+    for (int i = 0; i < r; ++i) {
+      acc = acc * (n - i) / (i + 1);
+    }
+    return static_cast<std::size_t>(acc + 0.5);
+  };
+  for (int k = 1; k <= 8; ++k) {
+    for (int v = 0; v <= k; ++v) {
+      EXPECT_EQ(count_decompositions(k, v, cr), choose(k, v))
+          << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(DecomposeGrid, SupersetRangeNeverShrinksCount) {
+  const std::vector<int> small{1, 2};
+  const std::vector<int> large{1, 2, 3};
+  for (int k = 1; k <= 5; ++k) {
+    for (int v = 0; v <= 8; ++v) {
+      EXPECT_GE(count_decompositions(k, v, large),
+                count_decompositions(k, v, small));
+    }
+  }
+}
+
+TEST(DecomposeGrid, ExtraPositionsNeverShrinkCount) {
+  const std::vector<int> cr{1, 3};
+  for (int k = 1; k <= 5; ++k) {
+    for (int v = 0; v <= 6; ++v) {
+      EXPECT_GE(count_decompositions(k + 1, v, cr),
+                count_decompositions(k, v, cr));
+    }
+  }
+}
+
+// ------------------------------------------------- budget boundary ---
+
+TEST(BudgetBoundary, EnumerationThrowsExactlyAtLimit) {
+  // A row with many equivalent decompositions: 4 FeFETs, targets all 1,
+  // CR = {1} gives 4 choices per column subject to locking.
+  const std::vector<int> targets{1, 1, 1, 1};
+  const std::vector<int> cr{1};
+  const auto unbounded = enumerate_row_patterns(targets, 4, cr, 0);
+  ASSERT_FALSE(unbounded.empty());
+  // A budget one below the true count must throw; at the count, succeed.
+  EXPECT_THROW(
+      enumerate_row_patterns(targets, 4, cr, unbounded.size() - 1),
+      ResourceLimitError);
+  EXPECT_EQ(
+      enumerate_row_patterns(targets, 4, cr, unbounded.size()).size(),
+      unbounded.size());
+}
+
+TEST(BudgetBoundary, FeasibilityPropagatesResourceError) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  const std::vector<int> cr{1, 2};
+  FeasibilityOptions opt;
+  opt.max_patterns_per_row = 1;  // absurdly small
+  EXPECT_THROW(detect_feasibility(dm, 3, cr, opt), ResourceLimitError);
+}
+
+// ------------------------------------------ distance-matrix family ---
+
+class DmBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(DmBits, ShapesAndExtremesAcrossAllMetrics) {
+  const int bits = GetParam();
+  const auto n = std::size_t{1} << bits;
+  const int vmax = static_cast<int>(n) - 1;
+  const auto hd = DistanceMatrix::make(DistanceMetric::kHamming, bits);
+  const auto l1 = DistanceMatrix::make(DistanceMetric::kManhattan, bits);
+  const auto l2 = DistanceMatrix::make(DistanceMetric::kEuclideanSquared, bits);
+  for (const auto* dm : {&hd, &l1, &l2}) {
+    EXPECT_EQ(dm->search_count(), n);
+    EXPECT_EQ(dm->stored_count(), n);
+  }
+  EXPECT_EQ(hd.max_value(), bits);           // all bits differ
+  EXPECT_EQ(l1.max_value(), vmax);           // |0 - max|
+  EXPECT_EQ(l2.max_value(), vmax * vmax);    // (0 - max)^2
+  // L2 dominates L1 dominates (scaled) HD pointwise.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_GE(l1.at(a, b), 0);
+      if (a != b) {
+        EXPECT_GE(l2.at(a, b), l1.at(a, b));  // (d)^2 >= d for integer d >= 1
+        EXPECT_LE(hd.at(a, b), bits);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, DmBits, ::testing::Values(1, 2, 3, 4, 6),
+                         [](const auto& param_info) {
+                           return std::to_string(param_info.param) + "bit";
+                         });
+
+TEST(RowPatternSweep, OrderingOptimizationPreservesResultSet) {
+  // The most-constrained-first ordering must not change the set of
+  // patterns, only the enumeration order. Compare as multisets.
+  const std::vector<int> cr{1, 2};
+  const auto dm = DistanceMatrix::make(DistanceMetric::kManhattan, 2);
+  for (std::size_t sch = 0; sch < dm.search_count(); ++sch) {
+    auto patterns = enumerate_row_patterns(dm.values().row(sch), 4, cr);
+    // Every pattern satisfies constraint 2 and hits its targets.
+    for (const auto& p : patterns) {
+      EXPECT_TRUE(satisfies_constraint2(p));
+    }
+    // No duplicates.
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      for (std::size_t j = i + 1; j < patterns.size(); ++j) {
+        EXPECT_FALSE(patterns[i] == patterns[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ferex::csp

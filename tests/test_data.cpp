@@ -1,0 +1,106 @@
+// Unit tests for the synthetic dataset generators (Table III substitutes).
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "ml/knn.hpp"
+#include "ml/quantize.hpp"
+#include "util/stats.hpp"
+
+namespace ferex::data {
+namespace {
+
+TEST(Datasets, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.train_size = 64;
+  spec.test_size = 16;
+  const auto a = make_synthetic(spec, 42);
+  const auto b = make_synthetic(spec, 42);
+  EXPECT_EQ(a.train_x, b.train_x);
+  EXPECT_EQ(a.test_y, b.test_y);
+  const auto c = make_synthetic(spec, 43);
+  EXPECT_NE(a.train_x, c.train_x);
+}
+
+TEST(Datasets, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.feature_count = 33;
+  spec.class_count = 5;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto ds = make_synthetic(spec, 1);
+  EXPECT_EQ(ds.train_x.rows(), 100u);
+  EXPECT_EQ(ds.train_x.cols(), 33u);
+  EXPECT_EQ(ds.train_y.size(), 100u);
+  EXPECT_EQ(ds.test_x.rows(), 20u);
+  EXPECT_EQ(ds.feature_count, 33u);
+  EXPECT_EQ(ds.class_count, 5u);
+}
+
+TEST(Datasets, ClassesAreBalanced) {
+  SyntheticSpec spec;
+  spec.class_count = 4;
+  spec.train_size = 100;
+  const auto ds = make_synthetic(spec, 2);
+  std::vector<int> counts(4, 0);
+  for (int y : ds.train_y) ++counts[y];
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(Datasets, PresetsMatchTableIIIShapes) {
+  const auto isolet = isolet_like();
+  EXPECT_EQ(isolet.feature_count, 617u);
+  EXPECT_EQ(isolet.class_count, 26u);
+  const auto ucihar = ucihar_like();
+  EXPECT_EQ(ucihar.feature_count, 561u);
+  EXPECT_EQ(ucihar.class_count, 12u);
+  const auto mnist = mnist_like();
+  EXPECT_EQ(mnist.feature_count, 784u);
+  EXPECT_EQ(mnist.class_count, 10u);
+}
+
+TEST(Datasets, SeparationControlsDifficulty) {
+  // Higher separation must give higher 1-NN accuracy.
+  SyntheticSpec easy, hard;
+  easy.feature_count = hard.feature_count = 32;
+  easy.class_count = hard.class_count = 4;
+  easy.train_size = hard.train_size = 200;
+  easy.test_size = hard.test_size = 100;
+  easy.class_separation = 1.5;
+  hard.class_separation = 0.15;
+  const auto eval = [](const Dataset& ds) {
+    const auto q = ml::Quantizer::fit(ds.train_x, 2);
+    const ml::KnnClassifier knn(q.quantize(ds.train_x), ds.train_y);
+    return knn.evaluate(csp::DistanceMetric::kManhattan, q.quantize(ds.test_x),
+                        ds.test_y, 3);
+  };
+  const double acc_easy = eval(make_synthetic(easy, 3));
+  const double acc_hard = eval(make_synthetic(hard, 3));
+  EXPECT_GT(acc_easy, acc_hard + 0.15);
+  EXPECT_GT(acc_easy, 0.9);
+}
+
+TEST(Datasets, OutliersInjectHeavyTails) {
+  SyntheticSpec clean, noisy;
+  clean.train_size = noisy.train_size = 500;
+  clean.outlier_probability = 0.0;
+  noisy.outlier_probability = 0.1;
+  const auto ds_clean = make_synthetic(clean, 4);
+  const auto ds_noisy = make_synthetic(noisy, 4);
+  const double max_clean =
+      util::max_of(std::span<const double>(ds_clean.train_x.flat()));
+  const double max_noisy =
+      util::max_of(std::span<const double>(ds_noisy.train_x.flat()));
+  EXPECT_GT(max_noisy, max_clean);
+}
+
+TEST(Datasets, RejectsDegenerateSpecs) {
+  SyntheticSpec spec;
+  spec.class_count = 0;
+  EXPECT_THROW(make_synthetic(spec, 1), std::invalid_argument);
+  SyntheticSpec spec2;
+  spec2.modes_per_class = 0;
+  EXPECT_THROW(make_synthetic(spec2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ferex::data

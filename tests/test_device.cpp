@@ -1,0 +1,198 @@
+// Unit tests for the device substrate: FeFET I-V behaviour, voltage
+// ladders, the 1FeFET1R current clamp, Preisach programming dynamics and
+// the variation model.
+#include <gtest/gtest.h>
+
+#include "device/fefet.hpp"
+#include "device/levels.hpp"
+#include "device/one_fefet_one_r.hpp"
+#include "device/preisach.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ferex::device {
+namespace {
+
+TEST(FeFet, OnAboveThreshold) {
+  FeFet fet(0.7);
+  EXPECT_TRUE(fet.is_on(0.7));
+  EXPECT_TRUE(fet.is_on(1.2));
+  EXPECT_FALSE(fet.is_on(0.69));
+  EXPECT_DOUBLE_EQ(fet.ids(1.0, 0.1), fet.params().isat_a);
+}
+
+TEST(FeFet, SubthresholdDecaysExponentially) {
+  FeFet fet(1.0);
+  const double i1 = fet.ids(0.90, 0.1);  // 100 mV below Vth
+  const double i2 = fet.ids(0.84, 0.1);  // one SS (60 mV) further down
+  EXPECT_LT(i1, fet.params().isat_a);
+  EXPECT_NEAR(i1 / i2, 10.0, 0.5);  // 60 mV/dec = one decade
+}
+
+TEST(FeFet, LeakageFloor) {
+  FeFet fet(1.8);
+  EXPECT_DOUBLE_EQ(fet.ids(0.0, 0.1), fet.params().min_leak_a);
+}
+
+TEST(FeFet, ZeroVdsNoCurrent) {
+  FeFet fet(0.5);
+  EXPECT_DOUBLE_EQ(fet.ids(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fet.ids(1.0, -0.1), 0.0);
+}
+
+TEST(FeFet, VthClampedToDeviceRange) {
+  FeFet fet(5.0);
+  EXPECT_DOUBLE_EQ(fet.vth(), fet.params().vth_max_v);
+  fet.set_vth(-1.0);
+  EXPECT_DOUBLE_EQ(fet.vth(), fet.params().vth_min_v);
+}
+
+TEST(VoltageLadder, InterleavingGivesStaircaseConduction) {
+  const VoltageLadder ladder(3);
+  // ON iff stored level < search level (Table II footnote).
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(ladder.vsearch(s) > ladder.vth(t), t < s)
+          << "t=" << t << " s=" << s;
+      EXPECT_EQ(ladder.conducts(t, s), t < s);
+    }
+  }
+}
+
+TEST(VoltageLadder, MarginIsHalfStep) {
+  const VoltageLadder ladder(4, 0.2, 0.5);
+  EXPECT_DOUBLE_EQ(ladder.margin_v(), 0.25);
+  // Vs1 sits exactly margin above Vt0 and margin below Vt1.
+  EXPECT_NEAR(ladder.vsearch(1) - ladder.vth(0), 0.25, 1e-12);
+  EXPECT_NEAR(ladder.vth(1) - ladder.vsearch(1), 0.25, 1e-12);
+}
+
+TEST(VoltageLadder, RejectsDegenerateArguments) {
+  EXPECT_THROW(VoltageLadder(0), std::invalid_argument);
+  EXPECT_THROW(VoltageLadder(3, 0.2, 0.0), std::invalid_argument);
+  const VoltageLadder ladder(2);
+  EXPECT_THROW(ladder.vth(2), std::out_of_range);
+  EXPECT_THROW(ladder.vsearch(2), std::out_of_range);
+}
+
+TEST(OneFeFetOneR, ClampMakesCurrentVthIndependent) {
+  // Two ON devices with very different Vth must carry identical current —
+  // the resistor clamp is the paper's key device property.
+  OneFeFetOneR low(0.3), high(1.0);
+  const double i_low = low.current(1.4, 0.1);
+  const double i_high = high.current(1.4, 0.1);
+  EXPECT_DOUBLE_EQ(i_low, i_high);
+  EXPECT_DOUBLE_EQ(i_low, 0.1 / 1e6);
+}
+
+TEST(OneFeFetOneR, CurrentIsIntegerMultipleOfUnit) {
+  OneFeFetOneR cell(0.3);
+  const double i1 = cell.current_at_multiple(1.4, 1);
+  const double i2 = cell.current_at_multiple(1.4, 2);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cell.current_at_multiple(1.4, 0), 0.0);
+}
+
+TEST(OneFeFetOneR, OffStateLeakIsNegligible) {
+  OneFeFetOneR cell(1.5);
+  const double on = cell.current(1.8, 0.1);
+  const double off = cell.current(0.2, 0.1);
+  EXPECT_GT(on / off, 1e3);
+}
+
+TEST(OneFeFetOneR, SaturationLimitsAtHighVds) {
+  CellParams cp;
+  cp.resistance_ohm = 10.0;  // tiny R: clamp exceeds Isat
+  OneFeFetOneR cell(0.3, cp);
+  EXPECT_DOUBLE_EQ(cell.current(1.4, 1.0), cell.fet().params().isat_a);
+}
+
+TEST(OneFeFetOneR, ResistanceOverrideScalesUnitCurrent) {
+  OneFeFetOneR cell(0.3);
+  cell.set_resistance(2e6);
+  EXPECT_DOUBLE_EQ(cell.current(1.4, 0.1), 0.1 / 2e6);
+}
+
+TEST(Preisach, ErasedStateIsHighVth) {
+  PreisachFeFet fet;
+  fet.erase();
+  EXPECT_NEAR(fet.vth(), fet.params().vth_high_v, 1e-9);
+}
+
+TEST(Preisach, FullWritePulseLowersVth) {
+  PreisachFeFet fet;
+  fet.erase();
+  fet.apply_pulse(4.0, 10e-6);  // long saturating pulse
+  EXPECT_LT(fet.vth(), fet.params().vth_low_v + 0.2);
+}
+
+TEST(Preisach, LongerPulseShiftsVthFurther) {
+  PreisachFeFet a, b;
+  a.erase();
+  b.erase();
+  a.apply_pulse(4.0, 50e-9);
+  b.apply_pulse(4.0, 500e-9);
+  EXPECT_GT(a.vth(), b.vth());  // paper: longer pulse -> lower Vth
+}
+
+TEST(Preisach, SubCoercivePulseIsInhibited) {
+  // Half-voltage write-inhibit scheme (Sec. III-A): unselected rows see
+  // Vwrite/2, which must not disturb the stored state.
+  PreisachFeFet fet;
+  fet.erase();
+  const double before = fet.vth();
+  for (int i = 0; i < 1000; ++i) fet.apply_pulse(fet.params().write_v / 2.0, 500e-9);
+  EXPECT_DOUBLE_EQ(fet.vth(), before);
+}
+
+TEST(Preisach, ProgramToVthConvergesAcrossWindow) {
+  PreisachFeFet fet;
+  for (double target : {0.4, 0.7, 1.0, 1.3, 1.6}) {
+    fet.program_to_vth(target, 5e-3);
+    EXPECT_NEAR(fet.vth(), target, 5e-3) << "target " << target;
+  }
+}
+
+TEST(Preisach, PolarizationStaysBounded) {
+  PreisachFeFet fet;
+  for (int i = 0; i < 100; ++i) fet.apply_pulse(6.0, 1e-3);
+  EXPECT_LE(fet.polarization(), 1.0);
+  for (int i = 0; i < 100; ++i) fet.apply_pulse(-6.0, 1e-3);
+  EXPECT_GE(fet.polarization(), -1.0);
+}
+
+TEST(Variation, MatchesPaperSigmas) {
+  VariationModel model;
+  util::Rng rng(123);
+  util::RunningStats vth_stats, r_stats;
+  for (int i = 0; i < 40000; ++i) {
+    vth_stats.add(model.sample_vth_offset(rng));
+    r_stats.add(model.sample_r_multiplier(rng));
+  }
+  EXPECT_NEAR(vth_stats.stddev(), 54e-3, 2e-3);  // 54 mV (Sec. IV-A)
+  EXPECT_NEAR(r_stats.mean(), 1.0, 0.01);
+  EXPECT_NEAR(r_stats.stddev(), 0.08, 0.005);    // 8 % (Sec. IV-A)
+}
+
+TEST(Variation, DisabledIsExactlyNominal) {
+  VariationParams params;
+  params.enabled = false;
+  VariationModel model(params);
+  util::Rng rng(5);
+  EXPECT_DOUBLE_EQ(model.sample_vth_offset(rng), 0.0);
+  EXPECT_DOUBLE_EQ(model.sample_r_multiplier(rng), 1.0);
+}
+
+TEST(Variation, ResistanceMultiplierStaysPositive) {
+  VariationParams params;
+  params.sigma_r_rel = 5.0;  // absurd spread to hit the clamp
+  VariationModel model(params);
+  util::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.sample_r_multiplier(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ferex::device

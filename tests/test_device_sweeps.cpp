@@ -1,0 +1,177 @@
+// Parameterized sweeps over the device substrate: ladder geometry,
+// 1FeFET1R operating points, Preisach pulse physics, variation scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/fefet.hpp"
+#include "device/levels.hpp"
+#include "device/one_fefet_one_r.hpp"
+#include "device/preisach.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ferex::device {
+namespace {
+
+// ------------------------------------------------- ladder geometry ---
+
+struct LadderCase {
+  std::size_t levels;
+  double base;
+  double step;
+};
+
+class LadderSweep : public ::testing::TestWithParam<LadderCase> {};
+
+TEST_P(LadderSweep, StaircasePropertyHoldsForAllPairs) {
+  const auto& p = GetParam();
+  const VoltageLadder ladder(p.levels, p.base, p.step);
+  for (std::size_t t = 0; t < p.levels; ++t) {
+    for (std::size_t s = 0; s < p.levels; ++s) {
+      EXPECT_EQ(ladder.vsearch(s) > ladder.vth(t), t < s);
+    }
+  }
+}
+
+TEST_P(LadderSweep, LevelsAreStrictlyAscendingAndInterleaved) {
+  const auto& p = GetParam();
+  const VoltageLadder ladder(p.levels, p.base, p.step);
+  const auto vts = ladder.all_vth();
+  const auto vss = ladder.all_vsearch();
+  ASSERT_EQ(vts.size(), p.levels);
+  ASSERT_EQ(vss.size(), p.levels);
+  for (std::size_t i = 0; i < p.levels; ++i) {
+    EXPECT_LT(vss[i], vts[i]);  // Vs_i sits just below Vt_i
+    if (i > 0) {
+      EXPECT_GT(vss[i], vss[i - 1]);
+      EXPECT_GT(vts[i], vts[i - 1]);
+      EXPECT_GT(vss[i], vts[i - 1]);  // ... and just above Vt_{i-1}
+    }
+  }
+}
+
+TEST_P(LadderSweep, MarginUniformAcrossLevels) {
+  const auto& p = GetParam();
+  const VoltageLadder ladder(p.levels, p.base, p.step);
+  for (std::size_t i = 0; i < p.levels; ++i) {
+    EXPECT_NEAR(ladder.vth(i) - ladder.vsearch(i), ladder.margin_v(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LadderSweep,
+    ::testing::Values(LadderCase{1, 0.2, 0.6}, LadderCase{2, 0.2, 0.6},
+                      LadderCase{3, 0.2, 0.6}, LadderCase{4, 0.1, 0.45},
+                      LadderCase{6, 0.15, 0.3}, LadderCase{8, 0.1, 0.22}),
+    [](const auto& param_info) {
+      return "L" + std::to_string(param_info.param.levels) + "_idx" +
+             std::to_string(param_info.index);
+    });
+
+// ------------------------------------------------ 1FeFET1R biasing ---
+
+class CellBiasSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellBiasSweep, OnCurrentProportionalToVdsMultiple) {
+  const int multiple = GetParam();
+  OneFeFetOneR cell(0.5);
+  const double unit = cell.current_at_multiple(1.8, 1);
+  const double current = cell.current_at_multiple(1.8, multiple);
+  EXPECT_NEAR(current / unit, static_cast<double>(multiple), 1e-9);
+}
+
+TEST_P(CellBiasSweep, OffCurrentNegligibleAtEveryMultiple) {
+  const int multiple = GetParam();
+  OneFeFetOneR cell(1.6);
+  const double off = cell.current_at_multiple(0.2, multiple);
+  const double on = cell.current_at_multiple(1.8, multiple);
+  EXPECT_LT(off, on * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsMultiples, CellBiasSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------ Preisach physics ---
+
+TEST(PreisachSweep, WidthMonotonicallyLowersVth) {
+  double prev_vth = 10.0;
+  for (double width : {20e-9, 60e-9, 200e-9, 600e-9, 2e-6}) {
+    PreisachFeFet fet;
+    fet.erase();
+    fet.apply_pulse(fet.params().write_v, width);
+    EXPECT_LE(fet.vth(), prev_vth + 1e-12) << "width " << width;
+    prev_vth = fet.vth();
+  }
+}
+
+TEST(PreisachSweep, AmplitudeMonotonicallyLowersVth) {
+  double prev_vth = 10.0;
+  const PreisachParams params;
+  for (double amp = params.coercive_v + 0.2; amp <= params.write_v + 1.0;
+       amp += 0.4) {
+    PreisachFeFet fet;
+    fet.erase();
+    fet.apply_pulse(amp, params.pulse_width_s);
+    EXPECT_LE(fet.vth(), prev_vth + 1e-12) << "amp " << amp;
+    prev_vth = fet.vth();
+  }
+}
+
+TEST(PreisachSweep, ProgramVerifyAccuracyAcrossWindowAndTolerance) {
+  for (double tol : {20e-3, 5e-3, 1e-3}) {
+    for (double frac : {0.15, 0.35, 0.5, 0.65, 0.85}) {
+      PreisachFeFet fet;
+      const double target = fet.params().vth_low_v +
+                            frac * (fet.params().vth_high_v -
+                                    fet.params().vth_low_v);
+      fet.program_to_vth(target, tol);
+      EXPECT_NEAR(fet.vth(), target, tol) << "tol " << tol << " frac " << frac;
+    }
+  }
+}
+
+TEST(PreisachSweep, StateIsIdempotentWithoutPulses) {
+  PreisachFeFet fet;
+  fet.program_to_vth(1.0);
+  const double vth = fet.vth();
+  for (int i = 0; i < 10; ++i) {
+    // Sub-coercive reads / disturb pulses do not move the state.
+    fet.apply_pulse(0.5, 1e-6);
+    fet.apply_pulse(-0.5, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(fet.vth(), vth);
+}
+
+TEST(PreisachSweep, VthAlwaysInsideWindow) {
+  util::Rng rng(1);
+  PreisachFeFet fet;
+  for (int i = 0; i < 500; ++i) {
+    fet.apply_pulse(rng.uniform(-6.0, 6.0), rng.uniform(0.0, 2e-6));
+    EXPECT_GE(fet.vth(), fet.params().vth_low_v - 1e-12);
+    EXPECT_LE(fet.vth(), fet.params().vth_high_v + 1e-12);
+  }
+}
+
+// ----------------------------------------------- variation scaling ---
+
+class VariationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VariationSweep, SampleSpreadTracksConfiguredSigma) {
+  const double sigma = GetParam();
+  VariationParams params;
+  params.sigma_vth_v = sigma;
+  const VariationModel model(params);
+  util::Rng rng(99);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(model.sample_vth_offset(rng));
+  EXPECT_NEAR(stats.stddev(), sigma, sigma * 0.05 + 1e-6);
+  EXPECT_NEAR(stats.mean(), 0.0, sigma * 0.05 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, VariationSweep,
+                         ::testing::Values(0.0, 27e-3, 54e-3, 108e-3));
+
+}  // namespace
+}  // namespace ferex::device

@@ -1,0 +1,192 @@
+// Unit tests for the encoding layer: Fig. 5 post-processing, the
+// CellEncoding artifact, Table II regeneration and the full encoder loop
+// over cell sizes. Includes parameterized property sweeps: every feasible
+// (metric, bits) encoding must reproduce its distance matrix exactly.
+#include <gtest/gtest.h>
+
+#include "csp/feasibility.hpp"
+#include "encode/encoder.hpp"
+#include "encode/encoding_table.hpp"
+
+namespace ferex::encode {
+namespace {
+
+using csp::DistanceMatrix;
+using csp::DistanceMetric;
+
+CellEncoding encode_hamming2() {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  auto enc = encode_distance_matrix(dm);
+  EXPECT_TRUE(enc.has_value());
+  return *enc;
+}
+
+TEST(EncodeSolution, TwoBitHammingUsesThreeFeFetCell) {
+  const auto enc = encode_hamming2();
+  EXPECT_EQ(enc.fefets_per_cell(), 3u);
+  EXPECT_EQ(enc.stored_count(), 4u);
+  EXPECT_EQ(enc.search_count(), 4u);
+  // Table II uses three Vt and three Vs levels and Vds in {V, 2V}.
+  EXPECT_LE(enc.ladder_levels(), 3u);
+  EXPECT_LE(enc.max_vds_multiple(), 2);
+}
+
+TEST(EncodeSolution, TwoBitHammingRealizesItsDm) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  const auto enc = encode_hamming2();
+  EXPECT_TRUE(enc.realizes(dm));
+  // Spot values from Fig. 4(a).
+  EXPECT_EQ(enc.nominal_current(0b00, 0b11), 2);
+  EXPECT_EQ(enc.nominal_current(0b11, 0b11), 0);
+  EXPECT_EQ(enc.nominal_current(0b01, 0b00), 1);
+}
+
+TEST(EncodeSolution, AnyFeasibleSolutionEncodesCorrectly) {
+  // encode_solution on the raw first CSP solution (no level-minimizing
+  // selection): may need one extra ladder level but must still realize
+  // the DM exactly.
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  const std::vector<int> cr{1, 2};
+  const auto feas = csp::detect_feasibility(dm, 3, cr);
+  ASSERT_TRUE(feas.feasible);
+  const auto enc = encode_solution(feas.solution(), dm.name());
+  EXPECT_TRUE(enc.realizes(dm));
+  EXPECT_LE(enc.ladder_levels(), 4u);
+}
+
+TEST(EncodeSolution, RejectsEmptySolution) {
+  EXPECT_THROW(encode_solution({}, "x"), std::invalid_argument);
+}
+
+TEST(EncodeSolution, RejectsNonNestedOnSets) {
+  // Hand-built constraint-3 violation (the Fig. 4e fence).
+  csp::RowPattern r0, r1;
+  r0.currents = {{1}, {0}};
+  r1.currents = {{0}, {1}};
+  EXPECT_THROW(encode_solution({r0, r1}, "fence"), std::invalid_argument);
+}
+
+TEST(EncodingTable, TextTableHasOneRowPerValue) {
+  const auto enc = encode_hamming2();
+  const auto table = enc.to_text_table();
+  EXPECT_EQ(table.row_count(), 4u);
+}
+
+TEST(EncodingTable, ValidatesShapesAndRanges) {
+  util::Matrix<int> store(2, 1, 0), search(2, 1, 0), vds(2, 1, 1);
+  EXPECT_NO_THROW(CellEncoding(store, search, vds, 1, "ok"));
+  util::Matrix<int> bad_vds(2, 1, 0);  // multiple < 1
+  EXPECT_THROW(CellEncoding(store, search, bad_vds, 1, "bad"),
+               std::invalid_argument);
+  util::Matrix<int> bad_store(2, 1, 5);  // level beyond ladder
+  EXPECT_THROW(CellEncoding(bad_store, search, vds, 1, "bad"),
+               std::invalid_argument);
+  util::Matrix<int> ragged(2, 2, 0);
+  EXPECT_THROW(CellEncoding(ragged, search, vds, 1, "bad"),
+               std::invalid_argument);
+}
+
+TEST(Encoder, FindsMinimalCellSizeForHamming2) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  EncoderReport report;
+  const auto enc = encode_distance_matrix(dm, {}, &report);
+  ASSERT_TRUE(enc.has_value());
+  // The paper: "a 3FeFET3R cell structure is the optimal solution for the
+  // DM of 2-bit Hamming Distance".
+  EXPECT_EQ(report.fefets_per_cell, 3);
+  EXPECT_EQ(report.rejected_k, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(enc->realizes(dm));
+}
+
+TEST(Encoder, ReturnsNulloptWhenBudgetTooSmall) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  EncoderOptions opt;
+  opt.max_fefets_per_cell = 2;  // we know 3 are needed
+  EXPECT_FALSE(encode_distance_matrix(dm, opt).has_value());
+}
+
+TEST(Encoder, CustomAsymmetricMatrixSupported) {
+  // A deliberately asymmetric "penalty" function: still encodable.
+  util::Matrix<int> values(2, 2, 0);
+  values.at(0, 1) = 2;
+  values.at(1, 0) = 1;
+  const auto dm = DistanceMatrix::custom(std::move(values), "penalty");
+  const auto enc = encode_distance_matrix(dm);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_TRUE(enc->realizes(dm));
+}
+
+// ---- Property sweep: every feasible standard encoding reproduces its DM.
+
+struct EncodeCase {
+  DistanceMetric metric;
+  int bits;
+  int max_fefets;
+  int max_vds;
+};
+
+class EncoderProperty : public ::testing::TestWithParam<EncodeCase> {};
+
+TEST_P(EncoderProperty, EncodingRealizesDistanceMatrix) {
+  const auto& p = GetParam();
+  const auto dm = DistanceMatrix::make(p.metric, p.bits);
+  EncoderOptions opt;
+  opt.max_fefets_per_cell = p.max_fefets;
+  opt.max_vds_multiple = p.max_vds;
+  EncoderReport report;
+  const auto enc = encode_distance_matrix(dm, opt, &report);
+  ASSERT_TRUE(enc.has_value())
+      << dm.name() << " infeasible up to k=" << p.max_fefets;
+  EXPECT_TRUE(enc->realizes(dm)) << dm.name();
+  EXPECT_GE(report.fefets_per_cell, 1);
+  // The DM's largest entry bounds the per-row current budget from below:
+  // k * max_vds must reach it.
+  EXPECT_GE(report.fefets_per_cell * p.max_vds, dm.max_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardMetrics, EncoderProperty,
+    ::testing::Values(
+        EncodeCase{DistanceMetric::kHamming, 1, 4, 2},
+        EncodeCase{DistanceMetric::kHamming, 2, 4, 2},
+        EncodeCase{DistanceMetric::kManhattan, 1, 4, 2},
+        EncodeCase{DistanceMetric::kManhattan, 2, 5, 2},
+        EncodeCase{DistanceMetric::kManhattan, 2, 5, 3},
+        EncodeCase{DistanceMetric::kEuclideanSquared, 1, 4, 2},
+        EncodeCase{DistanceMetric::kEuclideanSquared, 2, 6, 5}),
+    [](const auto& param_info) {
+      return to_string(param_info.param.metric) + std::to_string(param_info.param.bits) +
+             "bit" + std::to_string(param_info.param.max_vds) + "v";
+    });
+
+TEST(Encoder, ThreeBitMonolithicCellReportsResourceBoundary) {
+  // Exact Algorithm 1 over an 8x8 DM explodes combinatorially once k
+  // grows (the paper demonstrates 2-bit cells); the encoder must report
+  // the resource boundary rather than hang or silently truncate.
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 3);
+  EncoderOptions opt;
+  opt.max_fefets_per_cell = 8;
+  EncoderReport report;
+  const auto enc = encode_distance_matrix(dm, opt, &report);
+  EXPECT_FALSE(enc.has_value());
+  EXPECT_TRUE(report.resource_limited);
+  EXPECT_GE(report.resource_limited_at_k, 3);
+  // The small cells genuinely proved infeasible before the boundary.
+  EXPECT_FALSE(report.rejected_k.empty());
+}
+
+TEST(Encoder, AblationAc3OffProducesEquivalentEncoding) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kManhattan, 2);
+  EncoderOptions on, off;
+  off.use_ac3 = false;
+  const auto enc_on = encode_distance_matrix(dm, on);
+  const auto enc_off = encode_distance_matrix(dm, off);
+  ASSERT_TRUE(enc_on.has_value());
+  ASSERT_TRUE(enc_off.has_value());
+  EXPECT_TRUE(enc_on->realizes(dm));
+  EXPECT_TRUE(enc_off->realizes(dm));
+  EXPECT_EQ(enc_on->fefets_per_cell(), enc_off->fefets_per_cell());
+}
+
+}  // namespace
+}  // namespace ferex::encode

@@ -1,0 +1,114 @@
+// Unit tests for the episodic few-shot (MANN) substrate.
+#include <gtest/gtest.h>
+
+#include "ml/mann.hpp"
+
+namespace ferex::ml {
+namespace {
+
+using csp::DistanceMetric;
+
+core::FerexOptions quiet_options() {
+  core::FerexOptions opt;
+  opt.circuit.variation.enabled = false;
+  opt.lta.offset_sigma_rel = 0.0;
+  return opt;
+}
+
+TEST(Episode, ShapesFollowSpec) {
+  EpisodeSpec spec;
+  spec.ways = 4;
+  spec.shots = 3;
+  spec.queries_per_class = 2;
+  spec.feature_count = 16;
+  util::Rng rng(1);
+  const auto ep = make_episode(spec, rng);
+  EXPECT_EQ(ep.support_x.rows(), 12u);
+  EXPECT_EQ(ep.support_y.size(), 12u);
+  EXPECT_EQ(ep.query_x.rows(), 8u);
+  EXPECT_EQ(ep.query_x.cols(), 16u);
+  // Labels are balanced and in range.
+  std::vector<int> counts(4, 0);
+  for (int y : ep.support_y) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 4);
+    ++counts[y];
+  }
+  for (int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(Episode, FreshClassesPerEpisode) {
+  EpisodeSpec spec;
+  util::Rng rng(2);
+  const auto a = make_episode(spec, rng);
+  const auto b = make_episode(spec, rng);
+  EXPECT_NE(a.support_x, b.support_x);  // novel classes each episode
+}
+
+TEST(Episode, RejectsDegenerateSpec) {
+  EpisodeSpec spec;
+  spec.ways = 0;
+  util::Rng rng(3);
+  EXPECT_THROW(make_episode(spec, rng), std::invalid_argument);
+}
+
+TEST(FewShot, WellSeparatedEpisodesAreLearnable) {
+  EpisodeSpec spec;
+  spec.ways = 5;
+  spec.shots = 1;
+  spec.queries_per_class = 6;
+  spec.feature_count = 48;
+  spec.class_separation = 1.5;
+  core::FerexEngine engine(quiet_options());
+  engine.configure(DistanceMetric::kManhattan, 2);
+  const auto result = evaluate_few_shot(engine, spec, 15, 42);
+  EXPECT_EQ(result.episodes, 15u);
+  EXPECT_EQ(result.queries, 15u * 30u);
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(FewShot, MoreShotsHelpOnHardEpisodes) {
+  EpisodeSpec hard;
+  hard.ways = 5;
+  hard.queries_per_class = 8;
+  hard.feature_count = 32;
+  hard.class_separation = 0.55;
+  core::FerexEngine engine(quiet_options());
+  engine.configure(DistanceMetric::kEuclideanSquared, 2);
+  auto one = hard;
+  one.shots = 1;
+  auto five = hard;
+  five.shots = 5;
+  const auto r1 = evaluate_few_shot(engine, one, 25, 7);
+  const auto r5 = evaluate_few_shot(engine, five, 25, 7);
+  EXPECT_GT(r5.accuracy, r1.accuracy);
+}
+
+TEST(FewShot, ChanceLevelOnUnseparatedClasses) {
+  EpisodeSpec spec;
+  spec.ways = 4;
+  spec.queries_per_class = 10;
+  spec.class_separation = 0.0;  // classes are identical distributions
+  core::FerexEngine engine(quiet_options());
+  engine.configure(DistanceMetric::kHamming, 2);
+  const auto result = evaluate_few_shot(engine, spec, 20, 11);
+  EXPECT_NEAR(result.accuracy, 0.25, 0.08);
+}
+
+TEST(FewShot, RequiresConfiguredEngine) {
+  core::FerexEngine engine(quiet_options());
+  EXPECT_THROW(evaluate_few_shot(engine, {}, 1, 0), std::logic_error);
+}
+
+TEST(FewShot, DeterministicForSameSeed) {
+  EpisodeSpec spec;
+  spec.feature_count = 24;
+  core::FerexEngine a(quiet_options()), b(quiet_options());
+  a.configure(DistanceMetric::kManhattan, 2);
+  b.configure(DistanceMetric::kManhattan, 2);
+  EXPECT_DOUBLE_EQ(evaluate_few_shot(a, spec, 5, 99).accuracy,
+                   evaluate_few_shot(b, spec, 5, 99).accuracy);
+}
+
+}  // namespace
+}  // namespace ferex::ml

@@ -1,0 +1,218 @@
+// Unit tests for the ML substrate: quantization, exact KNN, and the HDC
+// pipeline (encoding, training, inference across metrics).
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "ml/hdc.hpp"
+#include "ml/knn.hpp"
+#include "ml/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::ml {
+namespace {
+
+using csp::DistanceMetric;
+
+// --------------------------------------------------------- quantize ---
+
+TEST(QuantizerT, LevelsCoverRange) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i / 999.0);
+  const auto q = Quantizer::fit(values, 2);
+  EXPECT_EQ(q.levels(), 4);
+  EXPECT_EQ(q.quantize(-1.0), 0);
+  EXPECT_EQ(q.quantize(2.0), 3);
+  EXPECT_LT(q.quantize(0.2), q.quantize(0.8));
+}
+
+TEST(QuantizerT, EqualProbabilityBinsOnGaussian) {
+  util::Rng rng(3);
+  std::vector<double> values(20000);
+  for (auto& v : values) v = rng.gaussian();
+  const auto q = Quantizer::fit(values, 2);
+  std::vector<int> histogram(4, 0);
+  for (double v : values) ++histogram[q.quantize(v)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 5000, 300);  // ~uniform occupation
+  }
+}
+
+TEST(QuantizerT, MatrixQuantizationPreservesShape) {
+  util::Matrix<double> m(3, 5, 0.5);
+  const auto q = Quantizer::fit(std::vector<double>{0.0, 0.4, 0.6, 1.0}, 1);
+  const auto out = q.quantize(m);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 5u);
+}
+
+TEST(QuantizerT, RejectsBadArguments) {
+  EXPECT_THROW(Quantizer::fit(std::vector<double>{}, 2), std::invalid_argument);
+  EXPECT_THROW(Quantizer::fit(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(Quantizer::fit(std::vector<double>{1.0}, 9),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- KNN ---
+
+TEST(VectorDistance, MatchesPerElementReference) {
+  const std::vector<int> a{0, 1, 2, 3}, b{3, 1, 0, 2};
+  EXPECT_EQ(vector_distance(DistanceMetric::kHamming, a, b), 2 + 0 + 1 + 1);
+  EXPECT_EQ(vector_distance(DistanceMetric::kManhattan, a, b), 3 + 0 + 2 + 1);
+  EXPECT_EQ(vector_distance(DistanceMetric::kEuclideanSquared, a, b),
+            9 + 0 + 4 + 1);
+  const std::vector<int> short_vec{1};
+  EXPECT_THROW(vector_distance(DistanceMetric::kHamming, a, short_vec),
+               std::invalid_argument);
+}
+
+TEST(KnnIndices, ReturnsNearestFirstWithDeterministicTies) {
+  util::Matrix<int> db(4, 2, 0);
+  db.at(1, 0) = 1;  // dist 1 from query {0,0} under L1
+  db.at(2, 0) = 3;
+  db.at(2, 1) = 3;  // dist 6
+  // rows 0 and 3 both identical (dist 0): tie broken by index.
+  const std::vector<int> query{0, 0};
+  const auto idx = knn_indices(DistanceMetric::kManhattan, db, query, 3);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 3, 1}));
+  EXPECT_THROW(knn_indices(DistanceMetric::kManhattan, db, query, 0),
+               std::invalid_argument);
+  EXPECT_THROW(knn_indices(DistanceMetric::kManhattan, db, query, 5),
+               std::invalid_argument);
+}
+
+TEST(KnnClassifierT, MajorityVoteOnSeparatedClusters) {
+  // Class 0 near value 0, class 1 near value 3.
+  util::Matrix<int> db(6, 4, 0);
+  for (int s = 3; s < 6; ++s) {
+    for (int f = 0; f < 4; ++f) db.at(s, f) = 3;
+  }
+  db.at(1, 0) = 1;  // small intra-class noise
+  db.at(4, 2) = 2;
+  const std::vector<int> labels{0, 0, 0, 1, 1, 1};
+  const KnnClassifier knn(db, labels);
+  EXPECT_EQ(knn.predict(DistanceMetric::kManhattan,
+                        std::vector<int>{0, 1, 0, 0}, 3),
+            0);
+  EXPECT_EQ(knn.predict(DistanceMetric::kManhattan,
+                        std::vector<int>{3, 3, 2, 3}, 3),
+            1);
+}
+
+TEST(KnnClassifierT, EvaluateAccuracyIsOneOnTrainSetWithK1) {
+  util::Rng rng(9);
+  util::Matrix<int> db(20, 8, 0);
+  for (auto& v : db.flat()) v = static_cast<int>(rng.uniform_below(4));
+  std::vector<int> labels(20);
+  for (std::size_t i = 0; i < 20; ++i) labels[i] = static_cast<int>(i % 4);
+  const KnnClassifier knn(db, labels);
+  EXPECT_DOUBLE_EQ(knn.evaluate(DistanceMetric::kManhattan, db, labels, 1),
+                   1.0);
+}
+
+TEST(KnnClassifierT, RejectsShapeMismatch) {
+  util::Matrix<int> db(2, 2, 0);
+  EXPECT_THROW(KnnClassifier(db, {0}), std::invalid_argument);
+  EXPECT_THROW(KnnClassifier(util::Matrix<int>(), {}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- HDC ---
+
+TEST(HdcModelT, EncodeIsDeterministicAndSeedDependent) {
+  HdcOptions opt;
+  opt.hypervector_dim = 64;
+  HdcModel a(8, 2, opt), b(8, 2, opt);
+  HdcOptions opt2 = opt;
+  opt2.seed = 999;
+  HdcModel c(8, 2, opt2);
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(a.encode(x), b.encode(x));
+  EXPECT_NE(a.encode(x), c.encode(x));
+}
+
+TEST(HdcModelT, RequiresTrainingBeforeInference) {
+  HdcModel model(4, 2, {});
+  EXPECT_THROW(model.prototypes(), std::logic_error);
+  EXPECT_THROW(model.encode_query(std::vector<double>{1, 2, 3, 4}),
+               std::logic_error);
+}
+
+TEST(HdcModelT, LearnsSeparatedGaussians) {
+  data::SyntheticSpec spec;
+  spec.feature_count = 32;
+  spec.class_count = 4;
+  spec.train_size = 400;
+  spec.test_size = 120;
+  spec.class_separation = 1.2;
+  const auto ds = data::make_synthetic(spec, 11);
+  HdcOptions opt;
+  opt.hypervector_dim = 512;
+  HdcModel model(ds.feature_count, ds.class_count, opt);
+  model.train(ds.train_x, ds.train_y);
+  for (auto metric : {DistanceMetric::kHamming, DistanceMetric::kManhattan,
+                      DistanceMetric::kEuclideanSquared}) {
+    const double acc = model.evaluate(metric, ds.test_x, ds.test_y);
+    EXPECT_GT(acc, 0.8) << csp::to_string(metric);
+  }
+}
+
+TEST(HdcModelT, PrototypesAreWithinQuantizerRange) {
+  data::SyntheticSpec spec;
+  spec.feature_count = 16;
+  spec.class_count = 3;
+  spec.train_size = 90;
+  spec.test_size = 30;
+  const auto ds = data::make_synthetic(spec, 13);
+  HdcOptions opt;
+  opt.hypervector_dim = 128;
+  opt.bits = 2;
+  HdcModel model(ds.feature_count, ds.class_count, opt);
+  model.train(ds.train_x, ds.train_y);
+  const auto& protos = model.prototypes();
+  EXPECT_EQ(protos.rows(), 3u);
+  EXPECT_EQ(protos.cols(), 128u);
+  for (int v : protos.flat()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(HdcModelT, IterativeTrainingDoesNotDegradeTrainAccuracy) {
+  data::SyntheticSpec spec;
+  spec.feature_count = 24;
+  spec.class_count = 4;
+  spec.train_size = 200;
+  spec.test_size = 50;
+  spec.class_separation = 0.7;
+  const auto ds = data::make_synthetic(spec, 17);
+  HdcOptions single, iterative;
+  single.hypervector_dim = iterative.hypervector_dim = 256;
+  single.training_epochs = 0;
+  iterative.training_epochs = 5;
+  HdcModel m_single(ds.feature_count, ds.class_count, single);
+  HdcModel m_iter(ds.feature_count, ds.class_count, iterative);
+  m_single.train(ds.train_x, ds.train_y);
+  m_iter.train(ds.train_x, ds.train_y);
+  const double acc_single = m_single.evaluate(DistanceMetric::kEuclideanSquared,
+                                              ds.train_x, ds.train_y);
+  const double acc_iter = m_iter.evaluate(DistanceMetric::kEuclideanSquared,
+                                          ds.train_x, ds.train_y);
+  EXPECT_GE(acc_iter, acc_single - 0.05);
+}
+
+TEST(HdcModelT, RejectsBadShapes) {
+  EXPECT_THROW(HdcModel(0, 2, {}), std::invalid_argument);
+  EXPECT_THROW(HdcModel(4, 0, {}), std::invalid_argument);
+  HdcOptions opt;
+  opt.hypervector_dim = 0;
+  EXPECT_THROW(HdcModel(4, 2, opt), std::invalid_argument);
+  HdcModel model(4, 2, {});
+  util::Matrix<double> x(3, 4, 0.0);
+  EXPECT_THROW(model.train(x, std::vector<int>{0, 1}),
+               std::invalid_argument);
+  util::Matrix<double> ok(2, 4, 0.0);
+  EXPECT_THROW(model.train(ok, std::vector<int>{0, 7}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ferex::ml

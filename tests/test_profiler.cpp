@@ -1,0 +1,79 @@
+// Unit tests for the search-quality profiler.
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::core {
+namespace {
+
+using csp::DistanceMetric;
+
+FerexEngine ready_engine(bool noisy) {
+  FerexOptions opt;
+  if (!noisy) {
+    opt.circuit.variation.enabled = false;
+    opt.circuit.fet.ss_mv_per_dec = 15.0;
+    opt.circuit.opamp.output_res_ohm = 0.0;
+    opt.lta.offset_sigma_rel = 0.0;
+  }
+  FerexEngine engine(opt);
+  engine.configure(DistanceMetric::kHamming, 2);
+  util::Rng rng(noisy ? 2 : 1);
+  std::vector<std::vector<int>> db(10, std::vector<int>(16));
+  for (auto& row : db) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_below(4));
+  }
+  engine.store(db);
+  return engine;
+}
+
+std::vector<std::vector<int>> random_queries(std::size_t n) {
+  util::Rng rng(33);
+  std::vector<std::vector<int>> queries(n, std::vector<int>(16));
+  for (auto& q : queries) {
+    for (auto& v : q) v = static_cast<int>(rng.uniform_below(4));
+  }
+  return queries;
+}
+
+TEST(Profiler, ExactEngineHasPerfectAgreementAndZeroError) {
+  auto engine = ready_engine(/*noisy=*/false);
+  const auto queries = random_queries(20);
+  const auto profile = profile_searches(engine, queries);
+  EXPECT_EQ(profile.queries, 20u);
+  EXPECT_DOUBLE_EQ(profile.argmin_agreement, 1.0);
+  EXPECT_NEAR(profile.winner_error_units.mean(), 0.0, 0.02);
+  EXPECT_GE(profile.margin_units.min(), 0.0);
+}
+
+TEST(Profiler, NoisyEngineShowsErrorButBoundedMarginLoss) {
+  auto engine = ready_engine(/*noisy=*/true);
+  const auto queries = random_queries(30);
+  const auto profile = profile_searches(engine, queries);
+  // Variation + leakage must be visible in the winner error spread...
+  EXPECT_GT(profile.winner_error_units.stddev(), 1e-4);
+  // ...yet with random data (large distances) agreement stays high.
+  EXPECT_GT(profile.argmin_agreement, 0.8);
+}
+
+TEST(Profiler, HistogramCountsSumToQueries) {
+  auto engine = ready_engine(false);
+  const auto queries = random_queries(25);
+  const auto profile = profile_searches(engine, queries, 8);
+  std::size_t total = 0;
+  for (auto c : profile.winner_distance_histogram) total += c;
+  EXPECT_EQ(total, 25u);
+  EXPECT_EQ(profile.winner_distance_histogram.size(), 8u);
+}
+
+TEST(Profiler, RejectsUnreadyEngineAndBadBins) {
+  FerexEngine engine;
+  const auto queries = random_queries(1);
+  EXPECT_THROW(profile_searches(engine, queries), std::logic_error);
+  auto ready = ready_engine(false);
+  EXPECT_THROW(profile_searches(ready, queries, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ferex::core

@@ -1,0 +1,99 @@
+// Unit tests for the encoding text serialization.
+#include <gtest/gtest.h>
+
+#include "encode/encoder.hpp"
+#include "encode/serialize.hpp"
+
+namespace ferex::encode {
+namespace {
+
+using csp::DistanceMatrix;
+using csp::DistanceMetric;
+
+CellEncoding sample_encoding(DistanceMetric metric = DistanceMetric::kHamming,
+                             int bits = 2) {
+  const auto dm = DistanceMatrix::make(metric, bits);
+  auto enc = encode_distance_matrix(dm);
+  EXPECT_TRUE(enc.has_value());
+  return *enc;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  for (auto metric : {DistanceMetric::kHamming, DistanceMetric::kManhattan,
+                      DistanceMetric::kEuclideanSquared}) {
+    const auto original = sample_encoding(metric);
+    const auto restored = from_text(to_text(original));
+    EXPECT_EQ(restored.name(), original.name());
+    EXPECT_EQ(restored.stored_count(), original.stored_count());
+    EXPECT_EQ(restored.search_count(), original.search_count());
+    EXPECT_EQ(restored.fefets_per_cell(), original.fefets_per_cell());
+    EXPECT_EQ(restored.ladder_levels(), original.ladder_levels());
+    for (std::size_t v = 0; v < original.stored_count(); ++v) {
+      for (std::size_t i = 0; i < original.fefets_per_cell(); ++i) {
+        EXPECT_EQ(restored.store_level(v, i), original.store_level(v, i));
+      }
+    }
+    for (std::size_t v = 0; v < original.search_count(); ++v) {
+      for (std::size_t i = 0; i < original.fefets_per_cell(); ++i) {
+        EXPECT_EQ(restored.search_level(v, i), original.search_level(v, i));
+        EXPECT_EQ(restored.vds_multiple(v, i), original.vds_multiple(v, i));
+      }
+    }
+  }
+}
+
+TEST(Serialize, RestoredEncodingStillRealizesDm) {
+  const auto dm = DistanceMatrix::make(DistanceMetric::kHamming, 2);
+  const auto restored = from_text(to_text(sample_encoding()));
+  EXPECT_TRUE(restored.realizes(dm));
+}
+
+TEST(Serialize, TextIsStable) {
+  // Serializing twice yields byte-identical output (diff-friendliness).
+  const auto enc = sample_encoding();
+  EXPECT_EQ(to_text(enc), to_text(enc));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(from_text("not an encoding"), std::invalid_argument);
+  EXPECT_THROW(from_text(""), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  auto text = to_text(sample_encoding());
+  text.resize(text.size() / 2);
+  EXPECT_THROW(from_text(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsCorruptedValues) {
+  auto text = to_text(sample_encoding());
+  // Replace the first store level digit with a non-integer.
+  const auto pos = text.find("store_levels\n") + 13;
+  text[pos] = 'x';
+  EXPECT_THROW(from_text(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsOutOfRangeLevels) {
+  auto text = to_text(sample_encoding());
+  // Claim fewer ladder levels than the matrices use.
+  const auto pos = text.find("shape ");
+  ASSERT_NE(pos, std::string::npos);
+  // shape line: "shape <stored> <search> <fefets> <levels>".
+  const auto eol = text.find('\n', pos);
+  std::string line = text.substr(pos, eol - pos);
+  line.back() = '1';  // levels = 1 while levels used are >= 2
+  text.replace(pos, eol - pos, line);
+  EXPECT_THROW(from_text(text), std::invalid_argument);
+}
+
+TEST(Serialize, ErrorMessagesCarryLineNumbers) {
+  try {
+    from_text("ferex-encoding v1\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ferex::encode

@@ -1,0 +1,181 @@
+// Unit tests for the util substrate: RNG determinism and statistical
+// sanity, statistics helpers, matrix container, table formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ferex::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.uniform_below(10)];
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.gaussian(5.0, 0.054));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.054, 0.005);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptyRangesAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, AccuracyCountsMatches) {
+  const std::vector<int> pred{1, 2, 3, 4};
+  const std::vector<int> truth{1, 0, 3, 0};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.5);
+}
+
+TEST(Stats, WilsonWidthShrinksWithN) {
+  EXPECT_GT(wilson_half_width(0.9, 10), wilson_half_width(0.9, 1000));
+  EXPECT_DOUBLE_EQ(wilson_half_width(0.5, 0), 0.0);
+}
+
+TEST(MatrixT, StoresAndRetrieves) {
+  Matrix<int> m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 7);
+  m.at(0, 1) = 42;
+  EXPECT_EQ(m.at(0, 1), 42);
+}
+
+TEST(MatrixT, RowSpanViewsUnderlyingData) {
+  Matrix<int> m(2, 2, 0);
+  m.row(1)[0] = 5;
+  EXPECT_EQ(m.at(1, 0), 5);
+}
+
+TEST(MatrixT, EqualityComparison) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.at(0, 0) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print(oss);
+  const auto text = oss.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("bb"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::sci(1234.0, 1), "1.2e+03");
+}
+
+}  // namespace
+}  // namespace ferex::util

@@ -1,0 +1,95 @@
+// Unit tests for the write/erase path: program-and-verify cost model,
+// half-voltage write-inhibit integrity (Ni EDL'18 disturb scenario) and
+// WTA (best-match) sensing.
+#include <gtest/gtest.h>
+
+#include "circuit/lta.hpp"
+#include "circuit/write.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::circuit {
+namespace {
+
+TEST(WriteDriver, ProgramRowReportsPositiveCost) {
+  const WriteDriver driver;
+  const std::vector<double> targets{0.5, 1.0, 1.5};
+  const auto cost = driver.program_row(targets);
+  EXPECT_GT(cost.pulses, 0u);
+  EXPECT_GT(cost.latency_s, 0.0);
+  EXPECT_GT(cost.energy_j, 0.0);
+}
+
+TEST(WriteDriver, TighterToleranceCostsMorePulses) {
+  WriteDriverParams loose, tight;
+  loose.vth_tolerance_v = 50e-3;
+  tight.vth_tolerance_v = 1e-3;
+  const std::vector<double> targets{0.7, 1.1, 1.4, 0.9};
+  const auto loose_cost = WriteDriver(loose).program_row(targets);
+  const auto tight_cost = WriteDriver(tight).program_row(targets);
+  EXPECT_LE(loose_cost.pulses, tight_cost.pulses);
+}
+
+TEST(WriteDriver, ArrayProgrammingScalesWithRows) {
+  const WriteDriver driver;
+  const std::vector<double> targets{0.6, 1.2};
+  const auto one = driver.program_array(1, targets);
+  const auto many = driver.program_array(16, targets);
+  EXPECT_NEAR(many.latency_s / one.latency_s, 16.0, 0.01);
+  EXPECT_NEAR(many.energy_j / one.energy_j, 16.0, 0.01);
+}
+
+TEST(WriteDriver, HalfVoltageInhibitIsDisturbFree) {
+  // The core integrity claim of the write scheme (Sec. III-A): millions
+  // of half-voltage exposures must not move a victim's Vth, because
+  // Vwrite/2 is below the coercive voltage.
+  const WriteDriver driver;
+  const auto report = driver.disturb_after(1'000'000);
+  EXPECT_DOUBLE_EQ(report.max_vth_drift_v, 0.0);
+  EXPECT_TRUE(report.disturb_free);
+  EXPECT_LT(report.inhibit_voltage_v,
+            driver.params().device.coercive_v);
+}
+
+TEST(WriteDriver, FullVoltageWouldDisturb) {
+  // Sanity inverse: if the inhibit voltage exceeded the coercive voltage
+  // the scheme would fail — verify the model can express that failure.
+  WriteDriverParams params;
+  params.device.coercive_v = params.device.write_v / 2.0 - 0.1;
+  const WriteDriver driver(params);
+  const auto report = driver.disturb_after(100);
+  EXPECT_GT(report.max_vth_drift_v, 0.0);
+  EXPECT_FALSE(report.disturb_free);
+}
+
+// -------------------------------------------------------------- WTA ---
+
+TEST(WtaMode, DecideMaxPicksLargestCurrent) {
+  const LtaCircuit lta;
+  const std::vector<double> currents{3e-7, 9e-7, 2e-7};
+  const auto d = lta.decide_max(currents, 1e-7, nullptr);
+  EXPECT_EQ(d.winner, 1u);
+  EXPECT_DOUBLE_EQ(d.winner_current_a, 9e-7);
+}
+
+TEST(WtaMode, NoiseSymmetricWithLta) {
+  LtaParams params;
+  params.offset_sigma_rel = 0.4;
+  const LtaCircuit lta(params);
+  util::Rng rng(9);
+  int wrong = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> tight{1.0e-7, 1.1e-7};
+    if (lta.decide_max(tight, 1e-7, &rng).winner != 1) ++wrong;
+  }
+  // Same flip statistics as the LTA at the same margin (see LtaT test).
+  EXPECT_GT(wrong, 300);
+  EXPECT_LT(wrong, 1200);
+}
+
+TEST(WtaMode, RejectsEmpty) {
+  const LtaCircuit lta;
+  EXPECT_THROW(lta.decide_max({}, 1e-7, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ferex::circuit

@@ -1,0 +1,141 @@
+// ferex_encoder — command-line front-end to the FeReX CSP encoder.
+//
+// Derives the voltage configuration for a distance function and prints
+// (or saves) it in the library's text format, plus the human-readable
+// Table-II-style view. The expensive CSP runs offline, once; the output
+// file is what an array controller would consume.
+//
+// Usage:
+//   ferex_encoder --metric hamming|manhattan|euclidean --bits B
+//                 [--max-fefets K] [--max-vds M] [--no-ac3]
+//                 [--composite] [--out FILE] [--quiet]
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "encode/composite.hpp"
+#include "encode/encoder.hpp"
+#include "encode/serialize.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --metric hamming|manhattan|euclidean --bits B\n"
+               "       [--max-fefets K] [--max-vds M] [--no-ac3]\n"
+               "       [--composite] [--out FILE] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ferex;
+
+  std::string metric_name;
+  int bits = 2;
+  encode::EncoderOptions options;
+  bool composite = false;
+  bool quiet = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metric") {
+      metric_name = value();
+    } else if (arg == "--bits") {
+      bits = std::stoi(value());
+    } else if (arg == "--max-fefets") {
+      options.max_fefets_per_cell = std::stoi(value());
+    } else if (arg == "--max-vds") {
+      options.max_vds_multiple = std::stoi(value());
+    } else if (arg == "--no-ac3") {
+      options.use_ac3 = false;
+    } else if (arg == "--composite") {
+      composite = true;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return usage(argv[0]);
+    }
+  }
+
+  csp::DistanceMetric metric;
+  if (metric_name == "hamming") {
+    metric = csp::DistanceMetric::kHamming;
+  } else if (metric_name == "manhattan") {
+    metric = csp::DistanceMetric::kManhattan;
+  } else if (metric_name == "euclidean") {
+    metric = csp::DistanceMetric::kEuclideanSquared;
+  } else {
+    std::cerr << "missing or unknown --metric\n";
+    return usage(argv[0]);
+  }
+
+  try {
+    std::optional<encode::CellEncoding> encoding;
+    std::string note;
+    if (composite) {
+      auto comp = encode::make_composite_encoding(metric, bits, options);
+      if (!comp) {
+        std::cerr << "no composite encoding: metric not separable or base "
+                     "cell infeasible\n";
+        return 1;
+      }
+      encoding = std::move(comp->base);
+      note = "composite: " + comp->codec.name() + " x " +
+             std::to_string(comp->codec.subcells()) + " sub-cells, base "
+             "encoding below";
+    } else {
+      const auto dm = csp::DistanceMatrix::make(metric, bits);
+      encode::EncoderReport report;
+      encoding = encode::encode_distance_matrix(dm, options, &report);
+      if (!encoding) {
+        if (report.resource_limited) {
+          std::cerr << "exact CSP exceeded its budget at k="
+                    << report.resource_limited_at_k
+                    << " — try --composite for separable metrics\n";
+        } else {
+          std::cerr << "infeasible up to k=" << options.max_fefets_per_cell
+                    << " (try raising --max-fefets / --max-vds)\n";
+        }
+        return 1;
+      }
+      note = "cell: " + std::to_string(encoding->fefets_per_cell()) +
+             " FeFETs, " + std::to_string(encoding->ladder_levels()) +
+             " levels, Vds multiples to " +
+             std::to_string(encoding->max_vds_multiple());
+    }
+
+    const std::string text = encode::to_text(*encoding);
+    if (!out_path.empty()) {
+      std::ofstream file(out_path);
+      if (!file) {
+        std::cerr << "cannot write " << out_path << '\n';
+        return 1;
+      }
+      file << text;
+    }
+    if (!quiet) {
+      std::cout << "# " << note << '\n';
+      encoding->to_text_table().print(std::cout);
+      if (out_path.empty()) std::cout << '\n' << text;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
