@@ -1,0 +1,135 @@
+// Batched vs. single-query search throughput.
+//
+// Measures FerexEngine::search in a sequential loop against
+// FerexEngine::search_batch (worker pool sized by hardware_concurrency),
+// and the same pair on a BankedAm, at circuit fidelity — the compute-
+// heavy path where every query evaluates the full device model. Prints
+// queries/second and the batch speedup. On a multicore host the batched
+// path should approach a linear speedup, since queries share no mutable
+// state and the per-query noise streams are ordinal-addressed.
+//
+// Usage: bench_batch [rows] [dims] [queries]
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "arch/banked_am.hpp"
+#include "core/ferex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ferex;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::vector<int>> random_vectors(std::size_t count,
+                                             std::size_t dims, int levels,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<int>> out(count, std::vector<int>(dims));
+  for (auto& row : out) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_below(levels));
+  }
+  return out;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Throughput {
+  double sequential_qps = 0.0;
+  double batched_qps = 0.0;
+  double speedup() const { return batched_qps / sequential_qps; }
+};
+
+template <typename Sequential, typename Batched>
+Throughput measure(std::size_t n_queries, Sequential&& sequential,
+                   Batched&& batched) {
+  Throughput t;
+  auto start = Clock::now();
+  sequential();
+  t.sequential_qps = static_cast<double>(n_queries) / seconds_since(start);
+  start = Clock::now();
+  batched();
+  t.batched_qps = static_cast<double>(n_queries) / seconds_since(start);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t rows = 128, dims = 64, n_queries = 256;
+  std::size_t* const params[] = {&rows, &dims, &n_queries};
+  for (int i = 1; i < argc && i <= 3; ++i) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(argv[i], &end, 10);
+    if (argv[i][0] == '-' || end == argv[i] || *end != '\0' || errno != 0 ||
+        v == 0 || v > 1u << 20) {
+      std::fprintf(stderr,
+                   "usage: %s [rows] [dims] [queries]  "
+                   "(positive integers up to 2^20)\n",
+                   argv[0]);
+      return 2;
+    }
+    *params[i - 1] = static_cast<std::size_t>(v);
+  }
+
+  const auto db = random_vectors(rows, dims, 4, 1);
+  const auto queries = random_vectors(n_queries, dims, 4, 2);
+
+  std::printf("bench_batch: %zu rows x %zu dims, %zu queries, "
+              "hardware_concurrency=%u\n\n",
+              rows, dims, n_queries, std::thread::hardware_concurrency());
+
+  {
+    core::FerexEngine sequential;
+    sequential.configure(csp::DistanceMetric::kHamming, 2);
+    sequential.store(db);
+    core::FerexEngine batch_engine;
+    batch_engine.configure(csp::DistanceMetric::kHamming, 2);
+    batch_engine.store(db);
+    // Warm both paths once so programming/allocation noise stays out of
+    // the measured window.
+    (void)sequential.search(queries.front());
+    (void)batch_engine.search(queries.front());
+
+    const auto t = measure(
+        n_queries,
+        [&] {
+          for (const auto& q : queries) (void)sequential.search(q);
+        },
+        [&] { (void)batch_engine.search_batch(queries); });
+    std::printf("FerexEngine   sequential %10.0f q/s   batched %10.0f q/s   "
+                "speedup %.2fx\n",
+                t.sequential_qps, t.batched_qps, t.speedup());
+  }
+
+  {
+    arch::BankedOptions opt;
+    opt.bank_rows = rows / 4 ? rows / 4 : 1;
+    arch::BankedAm sequential(opt);
+    sequential.configure(csp::DistanceMetric::kHamming, 2);
+    sequential.store(db);
+    arch::BankedAm batch_am(opt);
+    batch_am.configure(csp::DistanceMetric::kHamming, 2);
+    batch_am.store(db);
+    (void)sequential.search(queries.front());
+    (void)batch_am.search(queries.front());
+
+    const auto t = measure(
+        n_queries,
+        [&] {
+          for (const auto& q : queries) (void)sequential.search(q);
+        },
+        [&] { (void)batch_am.search_batch(queries); });
+    std::printf("BankedAm      sequential %10.0f q/s   batched %10.0f q/s   "
+                "speedup %.2fx\n",
+                t.sequential_qps, t.batched_qps, t.speedup());
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace ferex::arch {
 
 BankedAm::BankedAm(BankedOptions options)
@@ -51,15 +53,16 @@ std::size_t BankedAm::global_index(std::size_t bank, std::size_t local) const {
   return bank_offsets_[bank] + local;
 }
 
-BankedSearchResult BankedAm::search(std::span<const int> query) {
-  if (banks_.empty()) {
-    throw std::logic_error("BankedAm::search: store() first");
-  }
+BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
+                                            std::uint64_t ordinal) const {
   // Stage 1: every bank's local LTA resolves its winner in parallel.
+  // Each bank draws its comparator noise from its own seed at this query
+  // ordinal, so banks stay decorrelated and the result is independent of
+  // execution order.
   std::vector<double> winner_currents(banks_.size());
   std::vector<std::size_t> winner_locals(banks_.size());
   for (std::size_t b = 0; b < banks_.size(); ++b) {
-    const auto r = banks_[b]->search(query);
+    const auto r = banks_[b]->search_at(query, ordinal);
     winner_currents[b] = r.winner_current_a;
     winner_locals[b] = r.nearest;
   }
@@ -72,6 +75,44 @@ BankedSearchResult BankedAm::search(std::span<const int> query) {
   out.nearest = global_index(decision.winner, winner_locals[decision.winner]);
   out.winner_current_a = decision.winner_current_a;
   return out;
+}
+
+void BankedAm::check_query(std::span<const int> query) const {
+  // Reject before any ordinal is consumed, so a bad query cannot shift
+  // the per-bank noise-stream sequence (see search_ordinal).
+  if (query.size() != banks_.front()->dims()) {
+    throw std::invalid_argument("BankedAm: query.size() != dims");
+  }
+  const auto alphabet = banks_.front()->distance_matrix().search_count();
+  for (const int v : query) {
+    if (v < 0 || static_cast<std::size_t>(v) >= alphabet) {
+      throw std::out_of_range("BankedAm: query value out of range");
+    }
+  }
+}
+
+BankedSearchResult BankedAm::search(std::span<const int> query) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search: store() first");
+  }
+  check_query(query);
+  return search_ordinal(query, query_serial_++);
+}
+
+std::vector<BankedSearchResult> BankedAm::search_batch(
+    std::span<const std::vector<int>> queries) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_batch: store() first");
+  }
+  std::vector<BankedSearchResult> results(queries.size());
+  if (queries.empty()) return results;
+  for (const auto& q : queries) check_query(q);
+  const std::uint64_t base = query_serial_;
+  query_serial_ += queries.size();
+  util::parallel_for(queries.size(), [&](std::size_t i) {
+    results[i] = search_ordinal(queries[i], base + i);
+  });
+  return results;
 }
 
 std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -54,6 +55,16 @@ class BankedAm {
   /// Global nearest-neighbor search (all banks in parallel + global LTA).
   BankedSearchResult search(std::span<const int> query);
 
+  /// Batched global search: queries fan across a worker pool sized by
+  /// std::thread::hardware_concurrency(), each worker driving all banks
+  /// for its query. Results are bit-identical to calling search() once
+  /// per query in order (per-bank comparator noise is addressed by query
+  /// ordinal, not execution order). Empty batch returns an empty vector.
+  /// Invalid queries — wrong length or out-of-alphabet values — are
+  /// rejected up front, before any ordinal is consumed.
+  std::vector<BankedSearchResult> search_batch(
+      std::span<const std::vector<int>> queries);
+
   /// Global k-nearest (nearest first).
   std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
 
@@ -66,8 +77,12 @@ class BankedAm {
 
  private:
   std::size_t global_index(std::size_t bank, std::size_t local) const;
+  void check_query(std::span<const int> query) const;
+  BankedSearchResult search_ordinal(std::span<const int> query,
+                                    std::uint64_t ordinal) const;
 
   BankedOptions options_;
+  std::uint64_t query_serial_ = 0;
   csp::DistanceMetric metric_ = csp::DistanceMetric::kHamming;
   int bits_ = 0;
   bool configured_ = false;

@@ -157,6 +157,25 @@ std::vector<double> CrossbarArray::search(std::span<const int> query) const {
 
 int CrossbarArray::nominal_distance(std::span<const int> query,
                                     std::size_t row) const {
+  validate_nominal_query(query);
+  if (row >= rows_) {
+    throw std::out_of_range("nominal_distance: row out of range");
+  }
+  return nominal_distance_unchecked(query, row);
+}
+
+std::vector<int> CrossbarArray::nominal_distances(
+    std::span<const int> query) const {
+  validate_nominal_query(query);
+  std::vector<int> out(rows_, 0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    out[row] = nominal_distance_unchecked(query, row);
+  }
+  return out;
+}
+
+int CrossbarArray::nominal_distance_unchecked(std::span<const int> query,
+                                              std::size_t row) const {
   int total = 0;
   for (std::size_t dim = 0; dim < dims_; ++dim) {
     total += encoding_.nominal_current(
@@ -164,6 +183,18 @@ int CrossbarArray::nominal_distance(std::span<const int> query,
         static_cast<std::size_t>(stored_value(row, dim)));
   }
   return total;
+}
+
+void CrossbarArray::validate_nominal_query(std::span<const int> query) const {
+  if (query.size() != dims_) {
+    throw std::invalid_argument("nominal_distance: query.size() != dims");
+  }
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    const int qv = query[dim];
+    if (qv < 0 || static_cast<std::size_t>(qv) >= encoding_.search_count()) {
+      throw std::out_of_range("nominal_distance: query value out of range");
+    }
+  }
 }
 
 double CrossbarArray::device_vth(std::size_t row, std::size_t dim,

@@ -84,6 +84,11 @@ class CrossbarArray {
   /// from the encoding alone (no devices) — the software reference.
   int nominal_distance(std::span<const int> query, std::size_t row) const;
 
+  /// nominal_distance for every row at once: validates the query a single
+  /// time, then runs the unchecked accumulation kernel — the nominal-
+  /// fidelity hot path.
+  std::vector<int> nominal_distances(std::span<const int> query) const;
+
   /// Post-variation threshold voltage of one device (for tests/analysis).
   double device_vth(std::size_t row, std::size_t dim, std::size_t fefet) const;
 
@@ -92,6 +97,9 @@ class CrossbarArray {
                            std::size_t fefet) const;
 
  private:
+  void validate_nominal_query(std::span<const int> query) const;
+  int nominal_distance_unchecked(std::span<const int> query,
+                                 std::size_t row) const;
   std::size_t device_index(std::size_t row, std::size_t dim,
                            std::size_t fefet) const noexcept {
     return (row * dims_ + dim) * fefets_per_cell_ + fefet;

@@ -3,6 +3,8 @@
 
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace ferex::core {
 
 FerexEngine::FerexEngine(FerexOptions options)
@@ -88,37 +90,111 @@ void FerexEngine::rebuild_array() {
   }
 }
 
+util::Rng FerexEngine::query_rng(std::uint64_t ordinal) const noexcept {
+  // Every query ordinal gets an independent comparator-noise stream
+  // derived from the engine seed, so results do not depend on the order
+  // or thread interleaving in which queries execute.
+  return util::Rng(options_.seed ^
+                   (0x9e3779b97f4a7c15ULL * (ordinal + 1)));
+}
+
+SearchResult FerexEngine::search_expanded(std::span<const int> query,
+                                          util::Rng* rng) const {
+  SearchResult result;
+  if (options_.fidelity == SearchFidelity::kCircuit) {
+    const auto currents = array_->search(query);
+    const auto decision = lta_.decide(currents, array_->unit_current_a(), rng);
+    result.nearest = decision.winner;
+    result.winner_current_a = decision.winner_current_a;
+    result.margin_a = decision.margin_a;
+    result.nominal_distance = array_->nominal_distance(query, result.nearest);
+  } else {
+    // Nominal fidelity: exact integer distance arithmetic, ideal LTA.
+    const auto distances = array_->nominal_distances(query);
+    const std::vector<double> currents(distances.begin(), distances.end());
+    const auto decision = lta_.decide(currents, 1.0, nullptr);
+    result.nearest = decision.winner;
+    result.winner_current_a = decision.winner_current_a;
+    result.margin_a = decision.margin_a;
+    result.nominal_distance = distances[result.nearest];
+  }
+  return result;
+}
+
 SearchResult FerexEngine::search(std::span<const int> query) {
   if (!array_) {
     throw std::logic_error("FerexEngine::search: configure() + store() first");
   }
+  // Validate before consuming an ordinal, so a rejected query leaves the
+  // noise-stream sequence exactly where it was (batch does the same).
+  check_query(query);
+  return search_validated(query, query_serial_++);
+}
+
+void FerexEngine::check_query(std::span<const int> query) const {
+  // Full validation before anything irreversible: the codec expands
+  // element-wise with only an assert on the value range (UB in release
+  // builds), and every search entry point consumes a noise-stream
+  // ordinal — so both length and alphabet must be checked first, keeping
+  // sequential and batched ordinal accounting in lockstep on errors.
+  if (query.size() != database_.front().size()) {
+    throw std::invalid_argument("FerexEngine: query.size() != dims");
+  }
+  const auto alphabet = dm_->search_count();
+  for (const int v : query) {
+    if (v < 0 || static_cast<std::size_t>(v) >= alphabet) {
+      throw std::out_of_range("FerexEngine: query value out of range");
+    }
+  }
+}
+
+SearchResult FerexEngine::search_validated(std::span<const int> query,
+                                           std::uint64_t ordinal) const {
   std::vector<int> expanded;
   if (codec_) {
     expanded = codec_->expand(query);
     query = expanded;
   }
-  SearchResult result;
-  if (options_.fidelity == SearchFidelity::kCircuit) {
-    const auto currents = array_->search(query);
-    const auto decision =
-        lta_.decide(currents, array_->unit_current_a(), &rng_);
-    result.nearest = decision.winner;
-    result.winner_current_a = decision.winner_current_a;
-    result.margin_a = decision.margin_a;
-  } else {
-    // Nominal fidelity: exact integer distance arithmetic, ideal LTA.
-    std::vector<double> currents(database_.size());
-    for (std::size_t r = 0; r < database_.size(); ++r) {
-      currents[r] = static_cast<double>(array_->nominal_distance(query, r));
-    }
-    const auto decision = lta_.decide(currents, 1.0, nullptr);
-    result.nearest = decision.winner;
-    result.winner_current_a = decision.winner_current_a;
-    result.margin_a = decision.margin_a;
+  util::Rng rng = query_rng(ordinal);
+  return search_expanded(query, &rng);
+}
+
+SearchResult FerexEngine::search_at(std::span<const int> query,
+                                    std::uint64_t ordinal) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::search_at: configure() + store() first");
   }
-  result.nominal_distance =
-      array_->nominal_distance(query, result.nearest);
-  return result;
+  check_query(query);
+  return search_validated(query, ordinal);
+}
+
+std::vector<SearchResult> FerexEngine::search_batch(
+    std::span<const std::vector<int>> queries) {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::search_batch: configure() + store() first");
+  }
+  std::vector<SearchResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // Validate and codec-expand the whole batch up front: one pass over the
+  // queries, after which the workers run over plain spans with no
+  // allocation on the hot path.
+  for (const auto& q : queries) check_query(q);
+  std::vector<std::vector<int>> expanded;
+  if (codec_) {
+    expanded.reserve(queries.size());
+    for (const auto& q : queries) expanded.push_back(codec_->expand(q));
+  }
+
+  const std::uint64_t base = query_serial_;
+  query_serial_ += queries.size();
+  util::parallel_for(queries.size(), [&](std::size_t i) {
+    util::Rng rng = query_rng(base + i);
+    results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng);
+  });
+  return results;
 }
 
 std::vector<std::size_t> FerexEngine::search_k(std::span<const int> query,
@@ -126,20 +202,36 @@ std::vector<std::size_t> FerexEngine::search_k(std::span<const int> query,
   if (!array_) {
     throw std::logic_error("FerexEngine::search_k: configure() + store() first");
   }
+  check_query(query);
+  return search_k_validated(query, k, query_serial_++);
+}
+
+std::vector<std::size_t> FerexEngine::search_k_validated(
+    std::span<const int> query, std::size_t k, std::uint64_t ordinal) const {
   std::vector<int> expanded;
   if (codec_) {
     expanded = codec_->expand(query);
     query = expanded;
   }
+  util::Rng rng = query_rng(ordinal);
   if (options_.fidelity == SearchFidelity::kCircuit) {
     const auto currents = array_->search(query);
-    return lta_.decide_k(currents, array_->unit_current_a(), k, &rng_);
+    return lta_.decide_k(currents, array_->unit_current_a(), k, &rng);
   }
-  std::vector<double> currents(database_.size());
-  for (std::size_t r = 0; r < database_.size(); ++r) {
-    currents[r] = static_cast<double>(array_->nominal_distance(query, r));
-  }
+  const auto distances = array_->nominal_distances(query);
+  const std::vector<double> currents(distances.begin(), distances.end());
   return lta_.decide_k(currents, 1.0, k, nullptr);
+}
+
+std::vector<std::size_t> FerexEngine::search_k_at(std::span<const int> query,
+                                                  std::size_t k,
+                                                  std::uint64_t ordinal) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::search_k_at: configure() + store() first");
+  }
+  check_query(query);
+  return search_k_validated(query, k, ordinal);
 }
 
 std::vector<double> FerexEngine::row_currents(std::span<const int> query) const {
@@ -147,6 +239,7 @@ std::vector<double> FerexEngine::row_currents(std::span<const int> query) const 
     throw std::logic_error(
         "FerexEngine::row_currents: configure() + store() first");
   }
+  check_query(query);
   std::vector<int> expanded;
   if (codec_) {
     expanded = codec_->expand(query);
@@ -155,11 +248,8 @@ std::vector<double> FerexEngine::row_currents(std::span<const int> query) const 
   if (options_.fidelity == SearchFidelity::kCircuit) {
     return array_->search(query);
   }
-  std::vector<double> currents(database_.size());
-  for (std::size_t r = 0; r < database_.size(); ++r) {
-    currents[r] = static_cast<double>(array_->nominal_distance(query, r));
-  }
-  return currents;
+  const auto distances = array_->nominal_distances(query);
+  return std::vector<double>(distances.begin(), distances.end());
 }
 
 double FerexEngine::sense_unit() const {

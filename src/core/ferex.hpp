@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -93,8 +94,36 @@ class FerexEngine {
   /// Nearest-neighbor search. Requires configure() and store().
   SearchResult search(std::span<const int> query);
 
+  /// Batched nearest-neighbor search. Equivalent to calling search() once
+  /// per query in order — results are bit-identical, including the
+  /// circuit-fidelity comparator noise, which is drawn from a per-query
+  /// stream indexed by the engine's query ordinal rather than a shared
+  /// sequential stream — but queries are expanded once and fanned across
+  /// a worker pool sized by std::thread::hardware_concurrency().
+  /// An empty batch returns an empty vector. Invalid queries — wrong
+  /// length or out-of-alphabet values — are rejected up front, before
+  /// any ordinal is consumed, in both the sequential and batched APIs.
+  std::vector<SearchResult> search_batch(
+      std::span<const std::vector<int>> queries);
+
+  /// Nearest-neighbor search with an explicit query ordinal: the ordinal
+  /// selects the per-query comparator-noise stream, so callers that
+  /// schedule their own concurrency (e.g. BankedAm) stay deterministic.
+  /// Does not consume the engine's ordinal counter.
+  SearchResult search_at(std::span<const int> query,
+                         std::uint64_t ordinal) const;
+
   /// k-nearest rows, nearest first (iterative LTA with masking).
   std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
+
+  /// Ordinal-addressed variant of search_k (see search_at).
+  std::vector<std::size_t> search_k_at(std::span<const int> query,
+                                       std::size_t k,
+                                       std::uint64_t ordinal) const;
+
+  /// Ordinal the next search()/search_k() call will use. Each call
+  /// consumes one ordinal; search_batch consumes one per query.
+  std::uint64_t query_serial() const noexcept { return query_serial_; }
 
   /// Raw sensed row currents for a query (codec-expanded; at nominal
   /// fidelity these are exact distances). Building block for multi-macro
@@ -137,9 +166,26 @@ class FerexEngine {
 
  private:
   void rebuild_array();
+  /// Independent comparator-noise generator for one query ordinal.
+  util::Rng query_rng(std::uint64_t ordinal) const noexcept;
+  /// Throws std::invalid_argument unless query has the stored logical
+  /// dimensionality (pre-codec length), std::out_of_range unless every
+  /// element is inside the configured alphabet.
+  void check_query(std::span<const int> query) const;
+  /// Search over an already codec-expanded query.
+  SearchResult search_expanded(std::span<const int> expanded,
+                               util::Rng* rng) const;
+  /// Post-validation cores: expand if needed, derive the ordinal's rng,
+  /// run. Callers must have validated via check_query.
+  SearchResult search_validated(std::span<const int> query,
+                                std::uint64_t ordinal) const;
+  std::vector<std::size_t> search_k_validated(std::span<const int> query,
+                                              std::size_t k,
+                                              std::uint64_t ordinal) const;
 
   FerexOptions options_;
   util::Rng rng_;
+  std::uint64_t query_serial_ = 0;
   csp::DistanceMetric metric_ = csp::DistanceMetric::kHamming;
   int bits_ = 0;
   std::optional<csp::DistanceMatrix> dm_;

@@ -1,0 +1,62 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace ferex::util {
+
+std::size_t worker_count(std::size_t jobs) noexcept {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw == 0 ? 1 : hw;
+  return std::max<std::size_t>(1, std::min(workers, jobs));
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = worker_count(n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Stop handing out work once something failed.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  } catch (const std::system_error&) {
+    // Thread spawn failed (resource exhaustion). The calling thread and
+    // whatever workers did start still drain every item below; unwinding
+    // here would instead terminate on the joinable threads.
+  }
+  drain();
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ferex::util

@@ -1,0 +1,25 @@
+// Minimal worker pool for data-parallel fan-out.
+//
+// Batched search amortizes per-query overheads by running independent
+// queries concurrently. The unit of work here is one query over the whole
+// simulated array (microseconds of float math), so a fork/join pool with
+// an atomic work index is plenty: no task queue, no futures per item.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ferex::util {
+
+/// Number of workers to launch for `jobs` independent work items:
+/// min(hardware_concurrency, jobs), and at least 1.
+std::size_t worker_count(std::size_t jobs) noexcept;
+
+/// Runs fn(0), fn(1), ..., fn(n - 1), fanning the indices across a pool of
+/// worker_count(n) std::threads (inline when that is 1). Blocks until all
+/// items finish. The first exception thrown by any fn is rethrown on the
+/// calling thread after the pool joins; remaining items may be skipped.
+/// fn must be safe to call concurrently for distinct indices.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace ferex::util

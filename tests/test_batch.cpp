@@ -1,0 +1,293 @@
+// Tests for the batched multi-threaded search path: FerexEngine::
+// search_batch and BankedAm::search_batch must be bit-identical to the
+// sequential APIs across metrics, fidelities, and encoding paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "arch/banked_am.hpp"
+#include "core/ferex.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ferex::core {
+namespace {
+
+using csp::DistanceMetric;
+
+std::vector<std::vector<int>> random_vectors(std::size_t count,
+                                             std::size_t dims, int levels,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<int>> out(count, std::vector<int>(dims));
+  for (auto& row : out) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_below(levels));
+  }
+  return out;
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.nearest, b.nearest);
+  EXPECT_EQ(a.winner_current_a, b.winner_current_a);  // bit-exact
+  EXPECT_EQ(a.margin_a, b.margin_a);
+  EXPECT_EQ(a.nominal_distance, b.nominal_distance);
+}
+
+class BatchIdenticalT
+    : public ::testing::TestWithParam<std::tuple<DistanceMetric,
+                                                 SearchFidelity>> {};
+
+TEST_P(BatchIdenticalT, BatchMatchesSequentialBitExactly) {
+  const auto [metric, fidelity] = GetParam();
+  FerexOptions opt;
+  opt.fidelity = fidelity;
+
+  const auto db = random_vectors(24, 8, 4, 11);
+  const auto queries = random_vectors(17, 8, 4, 12);
+
+  FerexEngine batched(opt);
+  batched.configure(metric, 2);
+  batched.store(db);
+  const auto batch = batched.search_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  FerexEngine sequential(opt);
+  sequential.configure(metric, 2);
+  sequential.store(db);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(batch[i], sequential.search(queries[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndFidelities, BatchIdenticalT,
+    ::testing::Combine(::testing::Values(DistanceMetric::kHamming,
+                                         DistanceMetric::kManhattan,
+                                         DistanceMetric::kEuclideanSquared),
+                       ::testing::Values(SearchFidelity::kCircuit,
+                                         SearchFidelity::kNominal)));
+
+TEST(SearchBatchT, CompositeEncodingMatchesSequential) {
+  FerexOptions opt;
+  const auto db = random_vectors(16, 6, 16, 21);
+  const auto queries = random_vectors(9, 6, 16, 22);
+
+  FerexEngine batched(opt);
+  batched.configure_composite(DistanceMetric::kHamming, 4);
+  batched.store(db);
+  const auto batch = batched.search_batch(queries);
+
+  FerexEngine sequential(opt);
+  sequential.configure_composite(DistanceMetric::kHamming, 4);
+  sequential.store(db);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(batch[i], sequential.search(queries[i]));
+  }
+}
+
+TEST(SearchBatchT, EmptyBatchReturnsEmpty) {
+  FerexEngine engine;
+  engine.configure(DistanceMetric::kHamming, 2);
+  engine.store(random_vectors(4, 4, 4, 31));
+  const auto before = engine.query_serial();
+  EXPECT_TRUE(engine.search_batch({}).empty());
+  EXPECT_EQ(engine.query_serial(), before);  // consumed no ordinals
+}
+
+TEST(SearchBatchT, SingleElementBatchMatchesSearch) {
+  const auto db = random_vectors(12, 5, 4, 41);
+  const std::vector<std::vector<int>> queries = {db[7]};
+
+  FerexEngine batched;
+  batched.configure(DistanceMetric::kManhattan, 2);
+  batched.store(db);
+  const auto batch = batched.search_batch(queries);
+  ASSERT_EQ(batch.size(), 1u);
+
+  FerexEngine sequential;
+  sequential.configure(DistanceMetric::kManhattan, 2);
+  sequential.store(db);
+  expect_identical(batch[0], sequential.search(queries[0]));
+  EXPECT_EQ(batch[0].nominal_distance, 0);
+}
+
+TEST(SearchBatchT, ThrowsBeforeConfigureAndStore) {
+  FerexEngine engine;
+  const std::vector<std::vector<int>> queries = {{0, 1}};
+  EXPECT_THROW(engine.search_batch(queries), std::logic_error);
+  EXPECT_THROW((void)engine.search_batch({}), std::logic_error);
+}
+
+TEST(SearchBatchT, RejectsWrongQueryLength) {
+  FerexEngine engine;
+  engine.configure(DistanceMetric::kHamming, 2);
+  engine.store(random_vectors(6, 4, 4, 51));
+  const std::vector<std::vector<int>> queries = {{0, 1, 2}};  // dims is 4
+  const auto before = engine.query_serial();
+  EXPECT_THROW(engine.search_batch(queries), std::invalid_argument);
+  EXPECT_THROW(engine.search(queries[0]), std::invalid_argument);
+  EXPECT_THROW(engine.search_k(queries[0], 1), std::invalid_argument);
+  // Rejected queries never consume noise-stream ordinals.
+  EXPECT_EQ(engine.query_serial(), before);
+}
+
+TEST(SearchBatchT, RejectsOutOfRangeValuesAtBothFidelities) {
+  for (const auto fidelity :
+       {SearchFidelity::kCircuit, SearchFidelity::kNominal}) {
+    FerexOptions opt;
+    opt.fidelity = fidelity;
+    FerexEngine engine(opt);
+    engine.configure(DistanceMetric::kHamming, 2);
+    engine.store(random_vectors(6, 4, 4, 53));
+    const std::vector<std::vector<int>> queries = {{0, 1, 2, 7}};  // 7 > 3
+    const auto before = engine.query_serial();
+    EXPECT_THROW(engine.search_batch(queries), std::out_of_range);
+    EXPECT_THROW(engine.search(queries[0]), std::out_of_range);
+    EXPECT_THROW(engine.search(std::vector<int>{0, 1, 2, -1}),
+                 std::out_of_range);
+    // Rejected queries never consume noise-stream ordinals.
+    EXPECT_EQ(engine.query_serial(), before);
+  }
+}
+
+TEST(SearchBatchT, RejectsOutOfRangeValuesUnderCodec) {
+  FerexEngine engine;
+  engine.configure_composite(DistanceMetric::kHamming, 4);
+  engine.store(random_vectors(6, 4, 16, 54));
+  const std::vector<std::vector<int>> queries = {{0, 1, 2, 16}};  // 16 > 15
+  const auto before = engine.query_serial();
+  EXPECT_THROW(engine.search_batch(queries), std::out_of_range);
+  EXPECT_THROW(engine.search(queries[0]), std::out_of_range);
+  EXPECT_EQ(engine.query_serial(), before);
+}
+
+TEST(SearchBatchT, RejectsWrongQueryLengthUnderCodecAtNominalFidelity) {
+  // Regression: the codec expands element-wise with no length check, and
+  // the nominal path used to read past the end of a short expanded query.
+  FerexOptions opt;
+  opt.fidelity = SearchFidelity::kNominal;
+  FerexEngine engine(opt);
+  engine.configure_composite(DistanceMetric::kHamming, 4);
+  engine.store(random_vectors(6, 4, 16, 52));
+  const std::vector<std::vector<int>> queries = {{0, 1, 2}};  // dims is 4
+  EXPECT_THROW(engine.search_batch(queries), std::invalid_argument);
+  EXPECT_THROW(engine.search(queries[0]), std::invalid_argument);
+}
+
+TEST(SearchBatchT, SearchKAgreesWithBatchWinners) {
+  // search_k consumes the same per-query noise stream as search, so the
+  // first of k results at matching ordinals equals the batch winner.
+  const auto db = random_vectors(20, 6, 4, 61);
+  const auto queries = random_vectors(8, 6, 4, 62);
+
+  FerexEngine batched;
+  batched.configure(DistanceMetric::kHamming, 2);
+  batched.store(db);
+  const auto batch = batched.search_batch(queries);
+
+  FerexEngine sequential;
+  sequential.configure(DistanceMetric::kHamming, 2);
+  sequential.store(db);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto top3 = sequential.search_k(queries[i], 3);
+    ASSERT_EQ(top3.size(), 3u);
+    EXPECT_EQ(top3.front(), batch[i].nearest);
+  }
+}
+
+TEST(SearchBatchT, RepeatedBatchesAreDeterministicAcrossEngines) {
+  const auto db = random_vectors(18, 7, 4, 71);
+  const auto queries = random_vectors(32, 7, 4, 72);
+  std::vector<std::vector<SearchResult>> runs;
+  for (int run = 0; run < 2; ++run) {
+    FerexEngine engine;
+    engine.configure(DistanceMetric::kManhattan, 2);
+    engine.store(db);
+    runs.push_back(engine.search_batch(queries));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(runs[0][i], runs[1][i]);
+  }
+}
+
+TEST(SearchBatchT, OrdinalsAdvanceAcrossMixedCalls) {
+  // A batch consumes one ordinal per query, so batch-then-search equals
+  // search-then-search at the same positions.
+  const auto db = random_vectors(10, 5, 4, 81);
+  const auto queries = random_vectors(5, 5, 4, 82);
+
+  FerexEngine mixed;
+  mixed.configure(DistanceMetric::kHamming, 2);
+  mixed.store(db);
+  const auto batch = mixed.search_batch(queries);
+  const auto after = mixed.search(queries[0]);
+
+  FerexEngine sequential;
+  sequential.configure(DistanceMetric::kHamming, 2);
+  sequential.store(db);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(batch[i], sequential.search(queries[i]));
+  }
+  expect_identical(after, sequential.search(queries[0]));
+}
+
+TEST(BankedBatchT, BatchMatchesSequentialBitExactly) {
+  arch::BankedOptions opt;
+  opt.bank_rows = 6;
+  const auto db = random_vectors(20, 6, 4, 91);
+  const auto queries = random_vectors(13, 6, 4, 92);
+
+  arch::BankedAm batched(opt);
+  batched.configure(DistanceMetric::kHamming, 2);
+  batched.store(db);
+  const auto batch = batched.search_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  arch::BankedAm sequential(opt);
+  sequential.configure(DistanceMetric::kHamming, 2);
+  sequential.store(db);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto ref = sequential.search(queries[i]);
+    EXPECT_EQ(batch[i].nearest, ref.nearest);
+    EXPECT_EQ(batch[i].bank, ref.bank);
+    EXPECT_EQ(batch[i].winner_current_a, ref.winner_current_a);
+  }
+}
+
+TEST(BankedBatchT, EmptyBatchAndErrors) {
+  arch::BankedAm am;
+  EXPECT_THROW((void)am.search_batch({}), std::logic_error);
+  am.configure(DistanceMetric::kHamming, 2);
+  am.store(random_vectors(8, 4, 4, 95));
+  EXPECT_TRUE(am.search_batch({}).empty());
+  // A wrong-length query is rejected before any ordinal is consumed, so
+  // the noise-stream sequence is unaffected by the failed call.
+  const std::vector<std::vector<int>> bad = {{0, 1}};
+  EXPECT_THROW(am.search_batch(bad), std::invalid_argument);
+  EXPECT_THROW(am.search(bad[0]), std::invalid_argument);
+  const auto good = random_vectors(3, 4, 4, 96);
+  arch::BankedAm reference;
+  reference.configure(DistanceMetric::kHamming, 2);
+  reference.store(random_vectors(8, 4, 4, 95));
+  for (const auto& q : good) {
+    EXPECT_EQ(am.search(q).winner_current_a,
+              reference.search(q).winner_current_a);
+  }
+}
+
+TEST(ParallelForT, CoversAllIndicesAndPropagatesExceptions) {
+  std::vector<int> hits(257, 0);
+  util::parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_THROW(util::parallel_for(
+                   8, [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  EXPECT_GE(util::worker_count(1), 1u);
+  EXPECT_EQ(util::worker_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace ferex::core
