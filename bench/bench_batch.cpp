@@ -8,33 +8,26 @@
 // path should approach a linear speedup, since queries share no mutable
 // state and the per-query noise streams are ordinal-addressed.
 //
-// Usage: bench_batch [rows] [dims] [queries]
+// Usage: bench_batch [--json <path>] [rows] [dims] [queries]
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/banked_am.hpp"
 #include "core/ferex.hpp"
-#include "util/rng.hpp"
+#include "data/datasets.hpp"
+
+#include "bench_json.hpp"
 
 namespace {
 
 using namespace ferex;
 using Clock = std::chrono::steady_clock;
 
-std::vector<std::vector<int>> random_vectors(std::size_t count,
-                                             std::size_t dims, int levels,
-                                             std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<std::vector<int>> out(count, std::vector<int>(dims));
-  for (auto& row : out) {
-    for (auto& v : row) v = static_cast<int>(rng.uniform_below(levels));
-  }
-  return out;
-}
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -46,46 +39,74 @@ struct Throughput {
   double speedup() const { return batched_qps / sequential_qps; }
 };
 
+/// Measures the sequential mode with per-query latency samples and the
+/// batched mode as one call (its per-query latency is amortized — see
+/// bench_json.hpp); appends both as records.
 template <typename Sequential, typename Batched>
-Throughput measure(std::size_t n_queries, Sequential&& sequential,
-                   Batched&& batched) {
+Throughput measure(const std::string& label, std::size_t rows,
+                   std::size_t dims, std::size_t n_queries,
+                   std::vector<benchjson::Record>& records,
+                   Sequential&& sequential, Batched&& batched) {
   Throughput t;
-  auto start = Clock::now();
-  sequential();
-  t.sequential_qps = static_cast<double>(n_queries) / seconds_since(start);
-  start = Clock::now();
+  benchjson::Record seq;
+  seq.label = label + "_sequential";
+  seq.rows = rows;
+  seq.dims = dims;
+  seq.fidelity = "circuit";
+  benchjson::fill_timing(seq, benchjson::time_calls(n_queries, sequential),
+                         1);
+  t.sequential_qps = seq.qps;
+  records.push_back(seq);
+
+  benchjson::Record bat = seq;
+  bat.label = label + "_batched";
+  const auto start = Clock::now();
   batched();
-  t.batched_qps = static_cast<double>(n_queries) / seconds_since(start);
+  benchjson::fill_timing(bat, std::vector<double>{seconds_since(start)},
+                         n_queries);
+  t.batched_qps = bat.qps;
+  records.push_back(bat);
   return t;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json <path>] [rows] [dims] [queries]  "
+               "(positive integers up to 2^20)\n",
+               argv0);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t rows = 128, dims = 64, n_queries = 256;
+  std::string json_path;
   std::size_t* const params[] = {&rows, &dims, &n_queries};
-  for (int i = 1; i < argc && i <= 3; ++i) {
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
     char* end = nullptr;
     errno = 0;
     const unsigned long long v = std::strtoull(argv[i], &end, 10);
-    if (argv[i][0] == '-' || end == argv[i] || *end != '\0' || errno != 0 ||
-        v == 0 || v > 1u << 20) {
-      std::fprintf(stderr,
-                   "usage: %s [rows] [dims] [queries]  "
-                   "(positive integers up to 2^20)\n",
-                   argv[0]);
-      return 2;
+    if (positional >= 3 || argv[i][0] == '-' || end == argv[i] ||
+        *end != '\0' || errno != 0 || v == 0 || v > 1u << 20) {
+      return usage(argv[0]);
     }
-    *params[i - 1] = static_cast<std::size_t>(v);
+    *params[positional++] = static_cast<std::size_t>(v);
   }
 
-  const auto db = random_vectors(rows, dims, 4, 1);
-  const auto queries = random_vectors(n_queries, dims, 4, 2);
+  const auto db = data::random_int_vectors(rows, dims, 4, 1);
+  const auto queries = data::random_int_vectors(n_queries, dims, 4, 2);
 
   std::printf("bench_batch: %zu rows x %zu dims, %zu queries, "
               "hardware_concurrency=%u\n\n",
               rows, dims, n_queries, std::thread::hardware_concurrency());
 
+  std::vector<benchjson::Record> records;
   {
     core::FerexEngine sequential;
     sequential.configure(csp::DistanceMetric::kHamming, 2);
@@ -99,10 +120,8 @@ int main(int argc, char** argv) {
     (void)batch_engine.search(queries.front());
 
     const auto t = measure(
-        n_queries,
-        [&] {
-          for (const auto& q : queries) (void)sequential.search(q);
-        },
+        "engine", rows, dims, n_queries, records,
+        [&](std::size_t i) { (void)sequential.search(queries[i]); },
         [&] { (void)batch_engine.search_batch(queries); });
     std::printf("FerexEngine   sequential %10.0f q/s   batched %10.0f q/s   "
                 "speedup %.2fx\n",
@@ -122,14 +141,16 @@ int main(int argc, char** argv) {
     (void)batch_am.search(queries.front());
 
     const auto t = measure(
-        n_queries,
-        [&] {
-          for (const auto& q : queries) (void)sequential.search(q);
-        },
+        "banked", rows, dims, n_queries, records,
+        [&](std::size_t i) { (void)sequential.search(queries[i]); },
         [&] { (void)batch_am.search_batch(queries); });
     std::printf("BankedAm      sequential %10.0f q/s   batched %10.0f q/s   "
                 "speedup %.2fx\n",
                 t.sequential_qps, t.batched_qps, t.speedup());
+  }
+  if (!json_path.empty() &&
+      !benchjson::write_json(json_path, "bench_batch", records)) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,126 @@
+// Shared --json output for the bench binaries.
+//
+// Every bench that accepts `--json <path>` emits one document with the
+// same stable schema, so the perf trajectory (BENCH_*.json files) can be
+// collected and diffed across commits without parsing stdout:
+//
+//   {
+//     "bench": "<binary name>",
+//     "schema_version": 1,
+//     "hardware_concurrency": <uint>,
+//     "results": [
+//       {
+//         "label": "<measurement mode>",
+//         "geometry": {"rows": <uint>, "dims": <uint>},
+//         "queries": <uint>,
+//         "fidelity": "circuit" | "nominal",
+//         "qps": <double>,
+//         "latency_p50_us": <double>,
+//         "latency_p95_us": <double>
+//       }, ...
+//     ]
+//   }
+//
+// Latency percentiles are per measured call; batched modes divide each
+// batch call's wall time by its query count first (amortized per-query
+// latency), which is noted in the mode's label.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ferex::benchjson {
+
+struct Record {
+  std::string label;
+  std::size_t rows = 0;
+  std::size_t dims = 0;
+  std::size_t queries = 0;
+  std::string fidelity;  // "circuit" | "nominal"
+  double qps = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+};
+
+/// Linear-interpolated percentile over already-sorted samples, p in
+/// [0, 100] (numpy's default "linear" interpolation, not nearest-rank).
+inline double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Times fn(0), ..., fn(n - 1), one wall-clock sample per call, in
+/// seconds — the one timing loop every bench shares.
+template <typename Fn>
+std::vector<double> time_calls(std::size_t n, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> seconds;
+  seconds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto start = Clock::now();
+    fn(i);
+    seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return seconds;
+}
+
+/// Fills a record's qps and latency percentiles from per-call samples
+/// (seconds) where each call covered `queries_per_call` queries.
+inline void fill_timing(Record& record, std::span<const double> call_seconds,
+                        std::size_t queries_per_call) {
+  double total = 0.0;
+  std::vector<double> per_query_us;
+  per_query_us.reserve(call_seconds.size());
+  for (const double s : call_seconds) {
+    total += s;
+    per_query_us.push_back(s * 1e6 / static_cast<double>(queries_per_call));
+  }
+  std::sort(per_query_us.begin(), per_query_us.end());
+  const std::size_t queries = call_seconds.size() * queries_per_call;
+  record.queries = queries;
+  record.qps = total > 0.0 ? static_cast<double>(queries) / total : 0.0;
+  record.latency_p50_us = percentile_sorted(per_query_us, 50.0);
+  record.latency_p95_us = percentile_sorted(per_query_us, 95.0);
+}
+
+/// Writes the document; returns false (with a message on stderr) on I/O
+/// failure so benches can exit non-zero.
+inline bool write_json(const std::string& path, const std::string& bench,
+                       std::span<const Record> records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+               "  \"hardware_concurrency\": %u,\n  \"results\": [",
+               bench.c_str(), std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"label\": \"%s\", \"geometry\": {\"rows\": %zu, "
+        "\"dims\": %zu}, \"queries\": %zu, \"fidelity\": \"%s\", "
+        "\"qps\": %.3f, \"latency_p50_us\": %.3f, \"latency_p95_us\": %.3f}",
+        i == 0 ? "" : ",", r.label.c_str(), r.rows, r.dims, r.queries,
+        r.fidelity.c_str(), r.qps, r.latency_p50_us, r.latency_p95_us);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+  return ok;
+}
+
+}  // namespace ferex::benchjson

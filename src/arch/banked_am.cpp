@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -32,6 +33,8 @@ void BankedAm::store(const std::vector<std::vector<int>>& database) {
   banks_.clear();
   bank_offsets_.clear();
   total_rows_ = database.size();
+  const std::size_t bank_count =
+      (database.size() + options_.bank_rows - 1) / options_.bank_rows;
   for (std::size_t start = 0; start < database.size();
        start += options_.bank_rows) {
     const std::size_t end =
@@ -41,6 +44,9 @@ void BankedAm::store(const std::vector<std::vector<int>>& database) {
     auto engine_options = options_.engine;
     // Decorrelate device variation across macros.
     engine_options.seed = options_.engine.seed + 0x9e37 * (start + 1);
+    // With several banks this layer owns intra-query parallelism (it
+    // fans banks); per-bank row fan-out on top would nest worker pools.
+    if (bank_count > 1) engine_options.intra_query_min_devices = 0;
     auto bank = std::make_unique<core::FerexEngine>(engine_options);
     bank->configure(metric_, bits_);
     bank->store(std::move(slice));
@@ -53,18 +59,45 @@ std::size_t BankedAm::global_index(std::size_t bank, std::size_t local) const {
   return bank_offsets_[bank] + local;
 }
 
+bool BankedAm::parallel_banks_worthwhile() const noexcept {
+  const std::size_t threshold = options_.engine.intra_query_min_devices;
+  if (banks_.size() <= 1 || threshold == 0 || util::pool_width() <= 1 ||
+      options_.engine.fidelity != core::SearchFidelity::kCircuit) {
+    return false;
+  }
+  std::size_t devices = 0;
+  for (const auto& bank : banks_) {
+    if (const auto* array = bank->array()) devices += array->device_count();
+  }
+  return devices >= threshold;
+}
+
 BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
-                                            std::uint64_t ordinal) const {
+                                            std::uint64_t ordinal,
+                                            bool parallel_banks,
+                                            bool in_query_pool) const {
   // Stage 1: every bank's local LTA resolves its winner in parallel.
   // Each bank draws its comparator noise from its own seed at this query
   // ordinal, so banks stay decorrelated and the result is independent of
-  // execution order.
+  // execution order — fanning the banks across the pool is bit-identical
+  // to the serial sweep.
   std::vector<double> winner_currents(banks_.size());
   std::vector<std::size_t> winner_locals(banks_.size());
-  for (std::size_t b = 0; b < banks_.size(); ++b) {
-    const auto r = banks_[b]->search_at(query, ordinal);
+  // Inside a query fan-out, force the banks' row loops serial so pools
+  // never nest; otherwise the engines keep their own heuristic (multi-
+  // bank engines have row fan-out disabled at store(), single-bank ones
+  // may still fan their rows).
+  const std::optional<bool> bank_parallel_rows =
+      in_query_pool ? std::optional<bool>(false) : std::nullopt;
+  const auto run_bank = [&](std::size_t b) {
+    const auto r = banks_[b]->search_at(query, ordinal, bank_parallel_rows);
     winner_currents[b] = r.winner_current_a;
     winner_locals[b] = r.nearest;
+  };
+  if (parallel_banks && banks_.size() > 1) {
+    util::parallel_for(banks_.size(), run_bank);
+  } else {
+    for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }
   // Stage 2: a small global comparator over the bank winners.
   const auto decision =
@@ -96,7 +129,8 @@ BankedSearchResult BankedAm::search(std::span<const int> query) {
     throw std::logic_error("BankedAm::search: store() first");
   }
   check_query(query);
-  return search_ordinal(query, query_serial_++);
+  return search_ordinal(query, query_serial_++, parallel_banks_worthwhile(),
+                        /*in_query_pool=*/false);
 }
 
 std::vector<BankedSearchResult> BankedAm::search_batch(
@@ -109,8 +143,27 @@ std::vector<BankedSearchResult> BankedAm::search_batch(
   for (const auto& q : queries) check_query(q);
   const std::uint64_t base = query_serial_;
   query_serial_ += queries.size();
+  // Small batches cannot saturate the pool across queries alone; run
+  // them serially and fan each query's banks (or, single-bank, its
+  // rows) instead — but only when the inner fan-out is at least as wide
+  // as the query fan-out it replaces, else fanning queries wins. Either
+  // schedule yields bit-identical results.
+  const bool inner_fan_wider =
+      banks_.size() > 1 ? banks_.size() >= queries.size()
+                        : banks_.front()->intra_query_parallel();
+  if (queries.size() < util::pool_width() && inner_fan_wider &&
+      (banks_.size() == 1 || parallel_banks_worthwhile())) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = search_ordinal(queries[i], base + i,
+                                  /*parallel_banks=*/banks_.size() > 1,
+                                  /*in_query_pool=*/false);
+    }
+    return results;
+  }
   util::parallel_for(queries.size(), [&](std::size_t i) {
-    results[i] = search_ordinal(queries[i], base + i);
+    results[i] = search_ordinal(queries[i], base + i,
+                                /*parallel_banks=*/false,
+                                /*in_query_pool=*/true);
   });
   return results;
 }
@@ -125,11 +178,20 @@ std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,
   }
   // Each bank holds its sensed row currents (the post-decoder can mask
   // individual row branches); the global stage iteratively extracts the
-  // minimum across the concatenated currents.
+  // minimum across the concatenated currents. Banks fire concurrently,
+  // as in search().
+  std::vector<std::vector<double>> per_bank(banks_.size());
+  const auto run_bank = [&](std::size_t b) {
+    per_bank[b] = banks_[b]->row_currents(query);
+  };
+  if (parallel_banks_worthwhile()) {
+    util::parallel_for(banks_.size(), run_bank);
+  } else {
+    for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
+  }
   std::vector<double> all;
   all.reserve(total_rows_);
-  for (auto& bank : banks_) {
-    const auto currents = bank->row_currents(query);
+  for (const auto& currents : per_bank) {
     all.insert(all.end(), currents.begin(), currents.end());
   }
   return global_lta_.decide_k(all, banks_.front()->sense_unit(), k, nullptr);

@@ -53,6 +53,12 @@ class BankedAm {
   std::size_t stored_count() const noexcept { return total_rows_; }
 
   /// Global nearest-neighbor search (all banks in parallel + global LTA).
+  /// When the work-size heuristic allows (multiple banks and hardware
+  /// threads, circuit fidelity, total devices across banks reaching the
+  /// engine's intra_query_min_devices), the banks fan across the worker
+  /// pool — the hardware fires all macros at once, and a single query
+  /// should too. Results are bit-identical to the serial sweep (per-bank
+  /// noise is ordinal-addressed).
   BankedSearchResult search(std::span<const int> query);
 
   /// Batched global search: queries fan across a worker pool sized by
@@ -78,8 +84,19 @@ class BankedAm {
  private:
   std::size_t global_index(std::size_t bank, std::size_t local) const;
   void check_query(std::span<const int> query) const;
+  /// Work-size gate for fanning banks across the pool: multiple banks,
+  /// multiple hardware threads, circuit fidelity, and total devices
+  /// across banks at least the engine's intra_query_min_devices — the
+  /// same heuristic the engine applies to its rows, so tiny banked
+  /// configs never pay thread-spawn costs that dwarf the solve work.
+  bool parallel_banks_worthwhile() const noexcept;
+  /// `in_query_pool` marks calls made from inside a parallel_for over
+  /// queries: bank row loops are then forced serial so pools never nest.
+  /// Outside a pool the per-bank engines keep their own row heuristic.
   BankedSearchResult search_ordinal(std::span<const int> query,
-                                    std::uint64_t ordinal) const;
+                                    std::uint64_t ordinal,
+                                    bool parallel_banks,
+                                    bool in_query_pool) const;
 
   BankedOptions options_;
   std::uint64_t query_serial_ = 0;

@@ -5,8 +5,47 @@
 #include <stdexcept>
 
 #include "device/preisach.hpp"
+#include "util/parallel.hpp"
 
 namespace ferex::circuit {
+
+namespace {
+
+// Per-cell current with the subthreshold exponential in factored form
+// (see the header comment): gate_factor = exp(Vgs*a), vth_factor =
+// exp(-Vth*a), scl_factor = exp(-Vscl*a). Both the flat kernel and the
+// reference kernel funnel through this single expression — same
+// operations in the same association order — so their results agree bit
+// for bit; only how the factors are obtained differs (cached tables vs.
+// re-derived per cell).
+inline double cell_current_model(double vgs_eff_v, double vds_eff_v,
+                                 double vth_v, double inv_r,
+                                 double gate_factor, double vth_factor,
+                                 double scl_factor, double isat_a,
+                                 double min_leak_a) {
+  if (vds_eff_v <= 0.0) return 0.0;
+  const double fet_current =
+      vgs_eff_v >= vth_v
+          ? isat_a
+          : std::max(isat_a * ((gate_factor * vth_factor) * scl_factor),
+                     min_leak_a);
+  return std::min(fet_current, vds_eff_v * inv_r);
+}
+
+// Gate factors grow as exp(Vgs * ln10/SS); clamp the exponent so extreme
+// (sub-6 mV/dec) swing configurations saturate instead of producing inf
+// (which would turn inf * underflowed-vth_factor into NaN).
+inline double gate_factor_for(double vgs_v, double alpha) {
+  return std::exp(std::min(vgs_v * alpha, 700.0));
+}
+
+// The damped fixed-point ScL solve: v = R_src * I(v). Undamped iteration
+// oscillates when R_src * dI/dv is large (the unclamped ablation case);
+// 2-3 damped iterations suffice at clamped impedance levels.
+constexpr int kMaxSclIterations = 60;
+constexpr double kSclToleranceV = 1e-7;
+
+}  // namespace
 
 CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
                              const encode::CellEncoding& encoding,
@@ -42,6 +81,31 @@ CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
   // Erased state: highest threshold (nothing conducts until programmed).
   vth_.assign(devices, config_.fet.vth_max_v);
   stored_values_.assign(rows * dims, 0);
+
+  subvt_alpha_ = std::log(10.0) / (config_.fet.ss_mv_per_dec * 1e-3);
+  inv_r_.resize(devices);
+  vth_factor_.resize(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    inv_r_[d] = 1.0 / resistances_[d];
+    vth_factor_[d] = std::exp(-vth_[d] * subvt_alpha_);
+  }
+
+  // Per-(search value, fefet) bias tables: search() copies rows out of
+  // these instead of chasing encoding/ladder indirections per query.
+  const std::size_t search_entries =
+      encoding_.search_count() * fefets_per_cell_;
+  bias_vgs_.resize(search_entries);
+  bias_vds_.resize(search_entries);
+  bias_gate_factor_.resize(search_entries);
+  for (std::size_t sch = 0; sch < encoding_.search_count(); ++sch) {
+    for (std::size_t i = 0; i < fefets_per_cell_; ++i) {
+      const std::size_t e = sch * fefets_per_cell_ + i;
+      const int level = encoding_.search_level(sch, i);
+      bias_vgs_[e] = ladder_.vsearch(static_cast<std::size_t>(level));
+      bias_vds_[e] = config_.cell.vds_unit_v * encoding_.vds_multiple(sch, i);
+      bias_gate_factor_[e] = gate_factor_for(bias_vgs_[e], subvt_alpha_);
+    }
+  }
 }
 
 void CrossbarArray::program_row(std::size_t row, std::span<const int> values) {
@@ -72,66 +136,127 @@ void CrossbarArray::program_row(std::size_t row, std::span<const int> values) {
       }
       // D2D variation perturbs where the device lands around the target.
       vth_[dev] = programmed + vth_offsets_[dev];
+      vth_factor_[dev] = std::exp(-vth_[dev] * subvt_alpha_);
     }
   }
 }
 
-double CrossbarArray::cell_current(std::size_t dev, double vgs_v,
-                                   double vds_v) const {
-  if (vds_v <= 0.0) return 0.0;
-  const auto& fet = config_.fet;
-  double fet_current;
-  if (vgs_v >= vth_[dev]) {
-    fet_current = fet.isat_a;
-  } else {
-    const double decades = (vgs_v - vth_[dev]) / (fet.ss_mv_per_dec * 1e-3);
-    fet_current = std::max(fet.isat_a * std::pow(10.0, decades),
-                           fet.min_leak_a);
-  }
-  return std::min(fet_current, vds_v / resistances_[dev]);
-}
-
-double CrossbarArray::row_current(std::size_t row, std::span<const double> vgs,
-                                  std::span<const double> vds) const {
-  // The ScL potential rises with the row current through the clamp's
-  // residual impedance, reducing every cell's effective Vgs and Vds; a
-  // short fixed-point iteration captures the feedback (2-3 iterations
-  // suffice at these impedance levels).
-  const double source_res = config_.use_opamp_clamp
-                                ? config_.opamp.output_res_ohm
-                                : config_.unclamped_source_res_ohm;
+CrossbarArray::RowSolve CrossbarArray::solve_row(
+    std::size_t row, std::span<const double> vgs, std::span<const double> vds,
+    std::span<const double> gate_factors) const {
+  const double isat = config_.fet.isat_a;
+  const double min_leak = config_.fet.min_leak_a;
   const std::size_t per_row = dims_ * fefets_per_cell_;
   const std::size_t base = row * per_row;
-  const auto total_current = [&](double v_scl) {
+  const double* const vth = vth_.data() + base;
+  const double* const inv_r = inv_r_.data() + base;
+  const double* const vth_factor = vth_factor_.data() + base;
+  // All transcendentals are hoisted out of this loop: per device it is
+  // two subtractions, two compares, three multiplies and a min/max over
+  // contiguous spans — the vectorizable inner sum.
+  const auto total_current = [&](double v_scl, double scl_factor) {
     double sum = 0.0;
     for (std::size_t j = 0; j < per_row; ++j) {
-      sum += cell_current(base + j, vgs[j] - v_scl, vds[j] - v_scl);
+      sum += cell_current_model(vgs[j] - v_scl, vds[j] - v_scl, vth[j],
+                                inv_r[j], gate_factors[j], vth_factor[j],
+                                scl_factor, isat, min_leak);
     }
     return sum;
   };
-  if (source_res <= 0.0) return total_current(0.0);
-  // Solve v = R_src * I(v) by damped fixed-point iteration; undamped
-  // iteration oscillates when R_src * dI/dv is large (the unclamped
-  // ablation case).
+
+  RowSolve solve;
+  const double source_res = source_res_ohm();
+  if (source_res <= 0.0) {
+    solve.current_a = total_current(0.0, 1.0);
+    return solve;
+  }
   double v_scl = 0.0;
-  double current = total_current(0.0);
-  for (int iter = 0; iter < 60; ++iter) {
+  double current = total_current(0.0, 1.0);
+  solve.converged = false;
+  for (int iter = 0; iter < kMaxSclIterations; ++iter) {
     const double v_next = 0.5 * (v_scl + current * source_res);
-    current = total_current(v_next);
-    if (std::abs(v_next - v_scl) < 1e-7) {
+    // exp(-Vscl*a) once per iteration covers the whole row.
+    current = total_current(v_next, std::exp(-v_next * subvt_alpha_));
+    ++solve.iterations;
+    if (std::abs(v_next - v_scl) < kSclToleranceV) {
       v_scl = v_next;
+      solve.converged = true;
       break;
     }
     v_scl = v_next;
   }
-  return current;
+  solve.current_a = current;
+  return solve;
 }
 
-std::vector<double> CrossbarArray::search(std::span<const int> query) const {
+std::vector<double> CrossbarArray::search(std::span<const int> query,
+                                          bool parallel_rows) const {
   if (query.size() != dims_) {
     throw std::invalid_argument("search: query.size() != dims");
   }
-  // Resolve the per-device-column gate and drain biases once.
+  // Resolve the per-device-column biases by copying rows of the cached
+  // tables — no encoding/ladder indirection on the query path.
+  const std::size_t per_row = dims_ * fefets_per_cell_;
+  std::vector<double> vgs(per_row);
+  std::vector<double> vds(per_row);
+  std::vector<double> gate_factors(per_row);
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    const int qv = query[dim];
+    if (qv < 0 || static_cast<std::size_t>(qv) >= encoding_.search_count()) {
+      throw std::out_of_range("search: query value out of range");
+    }
+    const std::size_t src = static_cast<std::size_t>(qv) * fefets_per_cell_;
+    const std::size_t dst = dim * fefets_per_cell_;
+    std::copy_n(bias_vgs_.data() + src, fefets_per_cell_, vgs.data() + dst);
+    std::copy_n(bias_vds_.data() + src, fefets_per_cell_, vds.data() + dst);
+    std::copy_n(bias_gate_factor_.data() + src, fefets_per_cell_,
+                gate_factors.data() + dst);
+  }
+  std::vector<double> currents(rows_);
+  std::vector<RowSolve> solves(rows_);
+  const auto run_row = [&](std::size_t row) {
+    solves[row] = solve_row(row, vgs, vds, gate_factors);
+    currents[row] = solves[row].current_a;
+  };
+  if (parallel_rows && rows_ > 1) {
+    util::parallel_for(rows_, run_row);
+  } else {
+    for (std::size_t row = 0; row < rows_; ++row) run_row(row);
+  }
+  // One batched counter update per query, so parallel row solves never
+  // contend on the shared atomics.
+  std::uint64_t iterations = 0;
+  std::uint64_t non_converged = 0;
+  for (const auto& solve : solves) {
+    iterations += static_cast<std::uint64_t>(solve.iterations);
+    non_converged += solve.converged ? 0 : 1;
+  }
+  stat_solves_.fetch_add(rows_, std::memory_order_relaxed);
+  stat_iterations_.fetch_add(iterations, std::memory_order_relaxed);
+  stat_non_converged_.fetch_add(non_converged, std::memory_order_relaxed);
+  return currents;
+}
+
+double CrossbarArray::cell_current_reference(std::size_t dev, double vgs_v,
+                                             double vds_v,
+                                             double v_scl) const {
+  // Every factor re-derived from first principles, per cell, per
+  // iteration — the readable form of the cell model the cached tables
+  // must reproduce exactly.
+  const double gate_factor = gate_factor_for(vgs_v, subvt_alpha_);
+  const double vth_factor = std::exp(-vth_[dev] * subvt_alpha_);
+  const double scl_factor = std::exp(-v_scl * subvt_alpha_);
+  return cell_current_model(vgs_v - v_scl, vds_v - v_scl, vth_[dev],
+                            1.0 / resistances_[dev], gate_factor, vth_factor,
+                            scl_factor, config_.fet.isat_a,
+                            config_.fet.min_leak_a);
+}
+
+std::vector<double> CrossbarArray::search_reference(
+    std::span<const int> query) const {
+  if (query.size() != dims_) {
+    throw std::invalid_argument("search: query.size() != dims");
+  }
   const std::size_t per_row = dims_ * fefets_per_cell_;
   std::vector<double> vgs(per_row, 0.0);
   std::vector<double> vds(per_row, 0.0);
@@ -148,9 +273,33 @@ std::vector<double> CrossbarArray::search(std::span<const int> query) const {
                  encoding_.vds_multiple(static_cast<std::size_t>(qv), i);
     }
   }
+  const double source_res = source_res_ohm();
   std::vector<double> currents(rows_);
   for (std::size_t row = 0; row < rows_; ++row) {
-    currents[row] = row_current(row, vgs, vds);
+    const std::size_t base = row * per_row;
+    const auto total_current = [&](double v_scl) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < per_row; ++j) {
+        sum += cell_current_reference(base + j, vgs[j], vds[j], v_scl);
+      }
+      return sum;
+    };
+    if (source_res <= 0.0) {
+      currents[row] = total_current(0.0);
+      continue;
+    }
+    double v_scl = 0.0;
+    double current = total_current(0.0);
+    for (int iter = 0; iter < kMaxSclIterations; ++iter) {
+      const double v_next = 0.5 * (v_scl + current * source_res);
+      current = total_current(v_next);
+      if (std::abs(v_next - v_scl) < kSclToleranceV) {
+        v_scl = v_next;
+        break;
+      }
+      v_scl = v_next;
+    }
+    currents[row] = current;
   }
   return currents;
 }
@@ -161,21 +310,6 @@ int CrossbarArray::nominal_distance(std::span<const int> query,
   if (row >= rows_) {
     throw std::out_of_range("nominal_distance: row out of range");
   }
-  return nominal_distance_unchecked(query, row);
-}
-
-std::vector<int> CrossbarArray::nominal_distances(
-    std::span<const int> query) const {
-  validate_nominal_query(query);
-  std::vector<int> out(rows_, 0);
-  for (std::size_t row = 0; row < rows_; ++row) {
-    out[row] = nominal_distance_unchecked(query, row);
-  }
-  return out;
-}
-
-int CrossbarArray::nominal_distance_unchecked(std::span<const int> query,
-                                              std::size_t row) const {
   int total = 0;
   for (std::size_t dim = 0; dim < dims_; ++dim) {
     total += encoding_.nominal_current(
@@ -183,6 +317,45 @@ int CrossbarArray::nominal_distance_unchecked(std::span<const int> query,
         static_cast<std::size_t>(stored_value(row, dim)));
   }
   return total;
+}
+
+std::vector<int> CrossbarArray::nominal_distances(
+    std::span<const int> query) const {
+  validate_nominal_query(query);
+  // Hoist the per-dim LUT-row resolution out of the row loop; the row
+  // loop is then a gather over the contiguous stored values.
+  std::vector<const int*> lut_rows(dims_);
+  for (std::size_t dim = 0; dim < dims_; ++dim) {
+    lut_rows[dim] =
+        encoding_.nominal_currents(static_cast<std::size_t>(query[dim]))
+            .data();
+  }
+  std::vector<int> out(rows_, 0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const int* const stored = stored_values_.data() + row * dims_;
+    int total = 0;
+    for (std::size_t dim = 0; dim < dims_; ++dim) {
+      total += lut_rows[dim][stored[dim]];
+    }
+    out[row] = total;
+  }
+  return out;
+}
+
+std::vector<int> CrossbarArray::nominal_distances_reference(
+    std::span<const int> query) const {
+  validate_nominal_query(query);
+  std::vector<int> out(rows_, 0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    int total = 0;
+    for (std::size_t dim = 0; dim < dims_; ++dim) {
+      total += encoding_.nominal_current_reference(
+          static_cast<std::size_t>(query[dim]),
+          static_cast<std::size_t>(stored_value(row, dim)));
+    }
+    out[row] = total;
+  }
+  return out;
 }
 
 void CrossbarArray::validate_nominal_query(std::span<const int> query) const {
@@ -195,6 +368,20 @@ void CrossbarArray::validate_nominal_query(std::span<const int> query) const {
       throw std::out_of_range("nominal_distance: query value out of range");
     }
   }
+}
+
+SclSolveStats CrossbarArray::scl_solve_stats() const noexcept {
+  SclSolveStats stats;
+  stats.solves = stat_solves_.load(std::memory_order_relaxed);
+  stats.iterations = stat_iterations_.load(std::memory_order_relaxed);
+  stats.non_converged = stat_non_converged_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void CrossbarArray::reset_scl_solve_stats() const noexcept {
+  stat_solves_.store(0, std::memory_order_relaxed);
+  stat_iterations_.store(0, std::memory_order_relaxed);
+  stat_non_converged_.store(0, std::memory_order_relaxed);
 }
 
 double CrossbarArray::device_vth(std::size_t row, std::size_t dim,

@@ -10,9 +10,25 @@
 // Device-to-device variation (Vth offset, series-R spread) is sampled per
 // device at construction — it is a property of the fabricated array, not
 // of an individual operation.
+//
+// Hot-path layout: search() is table lookups over flat arrays. The
+// per-(search value, fefet) gate/drain biases are cached at construction,
+// and the subthreshold exponential is factored as
+//
+//   Isat * 10^((Vgs - Vscl - Vth) / SS)
+//     = Isat * exp(Vgs*a) * exp(-Vth*a) * exp(-Vscl*a),   a = ln10 / SS
+//
+// so exp(Vgs*a) is cached per search value, exp(-Vth*a) per device at
+// program time, and exp(-Vscl*a) once per fixed-point iteration per row —
+// the per-device inner loop is pure multiply/min/max over contiguous
+// spans. search_reference() retains the straightforward per-device kernel
+// (same factored expression, re-derived biases, scalar loop); tests
+// assert the optimized path matches it bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -46,6 +62,16 @@ struct CrossbarConfig {
   double program_tolerance_v = 5e-3;
 };
 
+/// Running totals of the damped fixed-point ScL solves behind search()
+/// (one solve per row per circuit-fidelity query). `non_converged` counts
+/// solves that hit the iteration cap without meeting the tolerance —
+/// surfaced through core/profiler instead of silently capping.
+struct SclSolveStats {
+  std::uint64_t solves = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t non_converged = 0;
+};
+
 class CrossbarArray {
  public:
   /// Builds an array of `rows` x `dims` cells wired for `encoding`.
@@ -67,6 +93,12 @@ class CrossbarArray {
     return config_.cell.vds_unit_v / config_.cell.resistance_ohm;
   }
 
+  /// Devices in the array — the work-size measure intra-query
+  /// parallelism heuristics use.
+  std::size_t device_count() const noexcept {
+    return rows_ * dims_ * fefets_per_cell_;
+  }
+
   /// Programs one row with a data vector (element values index the
   /// encoding's stored rows). values.size() must equal dims().
   void program_row(std::size_t row, std::span<const int> values);
@@ -78,16 +110,38 @@ class CrossbarArray {
 
   /// Runs the search phase for a query vector (element values index the
   /// encoding's search rows). Returns the per-row ScL currents [A].
-  std::vector<double> search(std::span<const int> query) const;
+  /// When `parallel_rows` is set, rows fan across the util::parallel_for
+  /// worker pool; results are bit-identical either way (rows share no
+  /// mutable state).
+  std::vector<double> search(std::span<const int> query,
+                             bool parallel_rows = false) const;
+
+  /// Reference implementation of search(): per-device scalar loop,
+  /// biases re-derived from the encoding/ladder per query, no cached
+  /// tables. Same cell-current expression as the optimized kernel, so
+  /// the two agree bit for bit; retained to guard the fast path.
+  std::vector<double> search_reference(std::span<const int> query) const;
 
   /// Ideal integer distance the array should report for (query, row),
   /// from the encoding alone (no devices) — the software reference.
   int nominal_distance(std::span<const int> query, std::size_t row) const;
 
   /// nominal_distance for every row at once: validates the query a single
-  /// time, then runs the unchecked accumulation kernel — the nominal-
-  /// fidelity hot path.
+  /// time, resolves the per-dim LUT rows once, then gathers over the
+  /// contiguous stored values — the nominal-fidelity hot path.
   std::vector<int> nominal_distances(std::span<const int> query) const;
+
+  /// Reference implementation of nominal_distances() (per-FeFET walk via
+  /// the encoding's level matrices); retained to guard the LUT path.
+  std::vector<int> nominal_distances_reference(
+      std::span<const int> query) const;
+
+  /// Snapshot of the fixed-point solve counters (search() only; the
+  /// reference kernel does not count). Thread-safe.
+  SclSolveStats scl_solve_stats() const noexcept;
+
+  /// Zeroes the fixed-point solve counters.
+  void reset_scl_solve_stats() const noexcept;
 
   /// Post-variation threshold voltage of one device (for tests/analysis).
   double device_vth(std::size_t row, std::size_t dim, std::size_t fefet) const;
@@ -98,15 +152,28 @@ class CrossbarArray {
 
  private:
   void validate_nominal_query(std::span<const int> query) const;
-  int nominal_distance_unchecked(std::span<const int> query,
-                                 std::size_t row) const;
   std::size_t device_index(std::size_t row, std::size_t dim,
                            std::size_t fefet) const noexcept {
     return (row * dims_ + dim) * fefets_per_cell_ + fefet;
   }
-  double cell_current(std::size_t dev, double vgs_v, double vds_v) const;
-  double row_current(std::size_t row, std::span<const double> vgs,
-                     std::span<const double> vds) const;
+  /// Residual impedance the row current develops the ScL potential over.
+  double source_res_ohm() const noexcept {
+    return config_.use_opamp_clamp ? config_.opamp.output_res_ohm
+                                   : config_.unclamped_source_res_ohm;
+  }
+  struct RowSolve {
+    double current_a = 0.0;
+    int iterations = 0;
+    bool converged = true;
+  };
+  /// One row's damped fixed-point ScL solve over the flat device arrays.
+  /// Pure — search() aggregates the per-row results into the shared solve
+  /// counters once per query, so parallel rows never contend on them.
+  RowSolve solve_row(std::size_t row, std::span<const double> vgs,
+                     std::span<const double> vds,
+                     std::span<const double> gate_factors) const;
+  double cell_current_reference(std::size_t dev, double vgs_v, double vds_v,
+                                double v_scl) const;
 
   std::size_t rows_;
   std::size_t dims_;
@@ -119,6 +186,18 @@ class CrossbarArray {
   std::vector<double> resistances_;   ///< per-device series R (with spread)
   std::vector<double> vth_;           ///< programmed Vth (incl. offset)
   std::vector<int> stored_values_;    ///< per (row, dim) element value
+
+  // --- cached hot-path tables -------------------------------------------
+  double subvt_alpha_ = 0.0;          ///< ln10 / SS [1/V]
+  std::vector<double> bias_vgs_;      ///< [sch*fefets+i] gate bias [V]
+  std::vector<double> bias_vds_;      ///< [sch*fefets+i] drain bias [V]
+  std::vector<double> bias_gate_factor_;  ///< [sch*fefets+i] exp(Vgs*a)
+  std::vector<double> inv_r_;         ///< per-device 1 / R
+  std::vector<double> vth_factor_;    ///< per-device exp(-Vth*a)
+
+  mutable std::atomic<std::uint64_t> stat_solves_{0};
+  mutable std::atomic<std::uint64_t> stat_iterations_{0};
+  mutable std::atomic<std::uint64_t> stat_non_converged_{0};
 };
 
 }  // namespace ferex::circuit

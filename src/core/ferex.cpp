@@ -98,11 +98,19 @@ util::Rng FerexEngine::query_rng(std::uint64_t ordinal) const noexcept {
                    (0x9e3779b97f4a7c15ULL * (ordinal + 1)));
 }
 
+bool FerexEngine::intra_query_parallel() const noexcept {
+  return options_.fidelity == SearchFidelity::kCircuit &&
+         options_.intra_query_min_devices > 0 && array_ != nullptr &&
+         array_->device_count() >= options_.intra_query_min_devices &&
+         util::pool_width() > 1;
+}
+
 SearchResult FerexEngine::search_expanded(std::span<const int> query,
-                                          util::Rng* rng) const {
+                                          util::Rng* rng,
+                                          bool parallel_rows) const {
   SearchResult result;
   if (options_.fidelity == SearchFidelity::kCircuit) {
-    const auto currents = array_->search(query);
+    const auto currents = array_->search(query, parallel_rows);
     const auto decision = lta_.decide(currents, array_->unit_current_a(), rng);
     result.nearest = decision.winner;
     result.winner_current_a = decision.winner_current_a;
@@ -128,7 +136,7 @@ SearchResult FerexEngine::search(std::span<const int> query) {
   // Validate before consuming an ordinal, so a rejected query leaves the
   // noise-stream sequence exactly where it was (batch does the same).
   check_query(query);
-  return search_validated(query, query_serial_++);
+  return search_validated(query, query_serial_++, intra_query_parallel());
 }
 
 void FerexEngine::check_query(std::span<const int> query) const {
@@ -149,24 +157,27 @@ void FerexEngine::check_query(std::span<const int> query) const {
 }
 
 SearchResult FerexEngine::search_validated(std::span<const int> query,
-                                           std::uint64_t ordinal) const {
+                                           std::uint64_t ordinal,
+                                           bool parallel_rows) const {
   std::vector<int> expanded;
   if (codec_) {
     expanded = codec_->expand(query);
     query = expanded;
   }
   util::Rng rng = query_rng(ordinal);
-  return search_expanded(query, &rng);
+  return search_expanded(query, &rng, parallel_rows);
 }
 
 SearchResult FerexEngine::search_at(std::span<const int> query,
-                                    std::uint64_t ordinal) const {
+                                    std::uint64_t ordinal,
+                                    std::optional<bool> parallel_rows) const {
   if (!array_) {
     throw std::logic_error(
         "FerexEngine::search_at: configure() + store() first");
   }
   check_query(query);
-  return search_validated(query, ordinal);
+  return search_validated(query, ordinal,
+                          parallel_rows.value_or(intra_query_parallel()));
 }
 
 std::vector<SearchResult> FerexEngine::search_batch(
@@ -190,9 +201,24 @@ std::vector<SearchResult> FerexEngine::search_batch(
 
   const std::uint64_t base = query_serial_;
   query_serial_ += queries.size();
+  // When the batch alone cannot saturate the pool, keep the queries
+  // serial and fan each query's rows instead — but only when the row fan
+  // is at least as wide as the query fan it replaces. Results are
+  // bit-identical either way (per-query noise is ordinal-addressed, rows
+  // share no mutable state), so the choice is purely a scheduling one.
+  if (queries.size() < util::pool_width() && intra_query_parallel() &&
+      array_->rows() >= queries.size()) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      util::Rng rng = query_rng(base + i);
+      results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng,
+                                   /*parallel_rows=*/true);
+    }
+    return results;
+  }
   util::parallel_for(queries.size(), [&](std::size_t i) {
     util::Rng rng = query_rng(base + i);
-    results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng);
+    results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng,
+                                 /*parallel_rows=*/false);
   });
   return results;
 }
@@ -215,7 +241,7 @@ std::vector<std::size_t> FerexEngine::search_k_validated(
   }
   util::Rng rng = query_rng(ordinal);
   if (options_.fidelity == SearchFidelity::kCircuit) {
-    const auto currents = array_->search(query);
+    const auto currents = array_->search(query, intra_query_parallel());
     return lta_.decide_k(currents, array_->unit_current_a(), k, &rng);
   }
   const auto distances = array_->nominal_distances(query);
@@ -246,7 +272,7 @@ std::vector<double> FerexEngine::row_currents(std::span<const int> query) const 
     query = expanded;
   }
   if (options_.fidelity == SearchFidelity::kCircuit) {
-    return array_->search(query);
+    return array_->search(query, intra_query_parallel());
   }
   const auto distances = array_->nominal_distances(query);
   return std::vector<double>(distances.begin(), distances.end());

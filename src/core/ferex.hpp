@@ -51,6 +51,15 @@ struct FerexOptions {
   double ladder_step_v = 0.6;
   SearchFidelity fidelity = SearchFidelity::kCircuit;
   std::uint64_t seed = 0x5eed;
+  /// Intra-query parallelism heuristic: when a single circuit-fidelity
+  /// query's work (array devices = rows * dims * fefets per cell) reaches
+  /// this threshold and more than one hardware thread is available, the
+  /// query's rows fan across the worker pool. Batched entry points apply
+  /// it only when the batch alone cannot saturate the pool (fewer
+  /// queries than hardware threads). 0 disables intra-query parallelism.
+  /// The nominal-fidelity kernel is a table gather whose per-row cost is
+  /// far below thread-spawn overhead, so it never fans.
+  std::size_t intra_query_min_devices = 32768;
 };
 
 /// Result of one nearest-neighbor query.
@@ -109,9 +118,20 @@ class FerexEngine {
   /// Nearest-neighbor search with an explicit query ordinal: the ordinal
   /// selects the per-query comparator-noise stream, so callers that
   /// schedule their own concurrency (e.g. BankedAm) stay deterministic.
-  /// Does not consume the engine's ordinal counter.
-  SearchResult search_at(std::span<const int> query,
-                         std::uint64_t ordinal) const;
+  /// Does not consume the engine's ordinal counter. `parallel_rows`
+  /// overrides the intra-query heuristic — callers already running this
+  /// engine inside their own worker pool pass false to avoid nesting
+  /// pools; nullopt applies intra_query_min_devices. The schedule never
+  /// affects results.
+  SearchResult search_at(std::span<const int> query, std::uint64_t ordinal,
+                         std::optional<bool> parallel_rows =
+                             std::nullopt) const;
+
+  /// True when the intra-query heuristic (intra_query_min_devices vs the
+  /// array's device count and the pool width) says a single query's rows
+  /// would fan across the worker pool. Exposed so multi-engine layers can
+  /// schedule around it.
+  bool intra_query_parallel() const noexcept;
 
   /// k-nearest rows, nearest first (iterative LTA with masking).
   std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
@@ -172,13 +192,15 @@ class FerexEngine {
   /// dimensionality (pre-codec length), std::out_of_range unless every
   /// element is inside the configured alphabet.
   void check_query(std::span<const int> query) const;
-  /// Search over an already codec-expanded query.
-  SearchResult search_expanded(std::span<const int> expanded,
-                               util::Rng* rng) const;
+  /// Search over an already codec-expanded query. `parallel_rows` fans
+  /// the crossbar rows across the worker pool (bit-identical results).
+  SearchResult search_expanded(std::span<const int> expanded, util::Rng* rng,
+                               bool parallel_rows) const;
   /// Post-validation cores: expand if needed, derive the ordinal's rng,
   /// run. Callers must have validated via check_query.
   SearchResult search_validated(std::span<const int> query,
-                                std::uint64_t ordinal) const;
+                                std::uint64_t ordinal,
+                                bool parallel_rows) const;
   std::vector<std::size_t> search_k_validated(std::span<const int> query,
                                               std::size_t k,
                                               std::uint64_t ordinal) const;

@@ -18,6 +18,8 @@ SearchProfile profile_searches(FerexEngine& engine,
   SearchProfile profile;
   profile.winner_distance_histogram.assign(histogram_bins, 0);
   std::size_t agreements = 0;
+  const circuit::SclSolveStats solves_before =
+      engine.array()->scl_solve_stats();
 
   for (const auto& query : queries) {
     const auto currents = engine.row_currents(query);
@@ -61,6 +63,17 @@ SearchProfile profile_searches(FerexEngine& engine,
       profile.queries > 0
           ? static_cast<double>(agreements) /
                 static_cast<double>(profile.queries)
+          : 0.0;
+  const circuit::SclSolveStats solves_after =
+      engine.array()->scl_solve_stats();
+  profile.scl_solves = solves_after.solves - solves_before.solves;
+  profile.scl_non_converged =
+      solves_after.non_converged - solves_before.non_converged;
+  profile.scl_mean_iterations =
+      profile.scl_solves > 0
+          ? static_cast<double>(solves_after.iterations -
+                                solves_before.iterations) /
+                static_cast<double>(profile.scl_solves)
           : 0.0;
   return profile;
 }

@@ -109,6 +109,23 @@ SyntheticSpec ucihar_like() {
   return spec;
 }
 
+std::vector<std::vector<int>> random_int_vectors(std::size_t count,
+                                                 std::size_t dims, int levels,
+                                                 std::uint64_t seed) {
+  if (levels <= 0) {
+    throw std::invalid_argument("random_int_vectors: levels must be > 0");
+  }
+  util::Rng rng(seed);
+  std::vector<std::vector<int>> out(count, std::vector<int>(dims));
+  for (auto& row : out) {
+    for (auto& v : row) {
+      v = static_cast<int>(
+          rng.uniform_below(static_cast<std::uint64_t>(levels)));
+    }
+  }
+  return out;
+}
+
 SyntheticSpec mnist_like() {
   SyntheticSpec spec;
   spec.name = "MNIST-like";

@@ -58,6 +58,14 @@ struct SyntheticSpec {
 /// Deterministically generates a dataset from a spec and seed.
 Dataset make_synthetic(const SyntheticSpec& spec, std::uint64_t seed);
 
+/// Uniform random integer vectors in [0, levels) — the already-quantized
+/// synthetic database/query generator the throughput benches and kernel
+/// equivalence tests share. Deterministic from the seed. levels must be
+/// positive.
+std::vector<std::vector<int>> random_int_vectors(std::size_t count,
+                                                 std::size_t dims, int levels,
+                                                 std::uint64_t seed);
+
 /// Presets shaped like the paper's Table III (n and K match; sizes are
 /// scaled as documented above). The three differ in separability and
 /// modality so that no single distance metric wins on all of them.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "csp/distance_matrix.hpp"
@@ -52,8 +53,23 @@ class CellEncoding {
   /// Nominal (variation-free) cell current, in unit-current multiples, for
   /// a search value applied against a stored value. This is the value the
   /// physical cell is expected to produce; equals the DM entry when the
-  /// encoding is correct.
-  int nominal_current(std::size_t sch, std::size_t sto) const;
+  /// encoding is correct. Served from a dense search_count x stored_count
+  /// table built at construction — O(1), no per-FeFET walk.
+  int nominal_current(std::size_t sch, std::size_t sto) const {
+    return nominal_currents_.at(sch, sto);
+  }
+
+  /// One LUT row of nominal currents: entry [sto] is
+  /// nominal_current(sch, sto). Lets per-query kernels hoist the search-
+  /// value lookup out of the per-row loop and gather over stored values.
+  std::span<const int> nominal_currents(std::size_t sch) const {
+    return nominal_currents_.row(sch);
+  }
+
+  /// Reference computation of nominal_current straight from the level
+  /// matrices (what the LUT is built from); retained so tests can prove
+  /// the cached table faithful.
+  int nominal_current_reference(std::size_t sch, std::size_t sto) const;
 
   /// Checks this encoding reproduces a distance matrix exactly.
   bool realizes(const csp::DistanceMatrix& dm) const;
@@ -65,6 +81,7 @@ class CellEncoding {
   util::Matrix<int> store_levels_;
   util::Matrix<int> search_levels_;
   util::Matrix<int> vds_multiples_;
+  util::Matrix<int> nominal_currents_;  ///< [sch][sto] cached cell currents
   std::size_t ladder_levels_ = 0;
   int max_vds_multiple_ = 1;
   std::string name_;

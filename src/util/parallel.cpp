@@ -10,10 +10,13 @@
 
 namespace ferex::util {
 
-std::size_t worker_count(std::size_t jobs) noexcept {
+std::size_t pool_width() noexcept {
   const std::size_t hw = std::thread::hardware_concurrency();
-  const std::size_t workers = hw == 0 ? 1 : hw;
-  return std::max<std::size_t>(1, std::min(workers, jobs));
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t worker_count(std::size_t jobs) noexcept {
+  return std::max<std::size_t>(1, std::min(pool_width(), jobs));
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

@@ -11,8 +11,13 @@
 
 namespace ferex::util {
 
+/// Width of the worker pool for unbounded work: hardware_concurrency,
+/// and at least 1. Schedulers compare their batch size against this to
+/// decide whether to fan out across items or within one item.
+std::size_t pool_width() noexcept;
+
 /// Number of workers to launch for `jobs` independent work items:
-/// min(hardware_concurrency, jobs), and at least 1.
+/// min(pool_width, jobs), and at least 1.
 std::size_t worker_count(std::size_t jobs) noexcept;
 
 /// Runs fn(0), fn(1), ..., fn(n - 1), fanning the indices across a pool of

@@ -8,24 +8,14 @@
 
 #include "arch/banked_am.hpp"
 #include "core/ferex.hpp"
+#include "data/datasets.hpp"
 #include "util/parallel.hpp"
-#include "util/rng.hpp"
 
 namespace ferex::core {
 namespace {
 
 using csp::DistanceMetric;
 
-std::vector<std::vector<int>> random_vectors(std::size_t count,
-                                             std::size_t dims, int levels,
-                                             std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<std::vector<int>> out(count, std::vector<int>(dims));
-  for (auto& row : out) {
-    for (auto& v : row) v = static_cast<int>(rng.uniform_below(levels));
-  }
-  return out;
-}
 
 void expect_identical(const SearchResult& a, const SearchResult& b) {
   EXPECT_EQ(a.nearest, b.nearest);
@@ -43,8 +33,8 @@ TEST_P(BatchIdenticalT, BatchMatchesSequentialBitExactly) {
   FerexOptions opt;
   opt.fidelity = fidelity;
 
-  const auto db = random_vectors(24, 8, 4, 11);
-  const auto queries = random_vectors(17, 8, 4, 12);
+  const auto db = data::random_int_vectors(24, 8, 4, 11);
+  const auto queries = data::random_int_vectors(17, 8, 4, 12);
 
   FerexEngine batched(opt);
   batched.configure(metric, 2);
@@ -70,8 +60,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SearchBatchT, CompositeEncodingMatchesSequential) {
   FerexOptions opt;
-  const auto db = random_vectors(16, 6, 16, 21);
-  const auto queries = random_vectors(9, 6, 16, 22);
+  const auto db = data::random_int_vectors(16, 6, 16, 21);
+  const auto queries = data::random_int_vectors(9, 6, 16, 22);
 
   FerexEngine batched(opt);
   batched.configure_composite(DistanceMetric::kHamming, 4);
@@ -89,14 +79,14 @@ TEST(SearchBatchT, CompositeEncodingMatchesSequential) {
 TEST(SearchBatchT, EmptyBatchReturnsEmpty) {
   FerexEngine engine;
   engine.configure(DistanceMetric::kHamming, 2);
-  engine.store(random_vectors(4, 4, 4, 31));
+  engine.store(data::random_int_vectors(4, 4, 4, 31));
   const auto before = engine.query_serial();
   EXPECT_TRUE(engine.search_batch({}).empty());
   EXPECT_EQ(engine.query_serial(), before);  // consumed no ordinals
 }
 
 TEST(SearchBatchT, SingleElementBatchMatchesSearch) {
-  const auto db = random_vectors(12, 5, 4, 41);
+  const auto db = data::random_int_vectors(12, 5, 4, 41);
   const std::vector<std::vector<int>> queries = {db[7]};
 
   FerexEngine batched;
@@ -122,7 +112,7 @@ TEST(SearchBatchT, ThrowsBeforeConfigureAndStore) {
 TEST(SearchBatchT, RejectsWrongQueryLength) {
   FerexEngine engine;
   engine.configure(DistanceMetric::kHamming, 2);
-  engine.store(random_vectors(6, 4, 4, 51));
+  engine.store(data::random_int_vectors(6, 4, 4, 51));
   const std::vector<std::vector<int>> queries = {{0, 1, 2}};  // dims is 4
   const auto before = engine.query_serial();
   EXPECT_THROW(engine.search_batch(queries), std::invalid_argument);
@@ -139,7 +129,7 @@ TEST(SearchBatchT, RejectsOutOfRangeValuesAtBothFidelities) {
     opt.fidelity = fidelity;
     FerexEngine engine(opt);
     engine.configure(DistanceMetric::kHamming, 2);
-    engine.store(random_vectors(6, 4, 4, 53));
+    engine.store(data::random_int_vectors(6, 4, 4, 53));
     const std::vector<std::vector<int>> queries = {{0, 1, 2, 7}};  // 7 > 3
     const auto before = engine.query_serial();
     EXPECT_THROW(engine.search_batch(queries), std::out_of_range);
@@ -154,7 +144,7 @@ TEST(SearchBatchT, RejectsOutOfRangeValuesAtBothFidelities) {
 TEST(SearchBatchT, RejectsOutOfRangeValuesUnderCodec) {
   FerexEngine engine;
   engine.configure_composite(DistanceMetric::kHamming, 4);
-  engine.store(random_vectors(6, 4, 16, 54));
+  engine.store(data::random_int_vectors(6, 4, 16, 54));
   const std::vector<std::vector<int>> queries = {{0, 1, 2, 16}};  // 16 > 15
   const auto before = engine.query_serial();
   EXPECT_THROW(engine.search_batch(queries), std::out_of_range);
@@ -169,7 +159,7 @@ TEST(SearchBatchT, RejectsWrongQueryLengthUnderCodecAtNominalFidelity) {
   opt.fidelity = SearchFidelity::kNominal;
   FerexEngine engine(opt);
   engine.configure_composite(DistanceMetric::kHamming, 4);
-  engine.store(random_vectors(6, 4, 16, 52));
+  engine.store(data::random_int_vectors(6, 4, 16, 52));
   const std::vector<std::vector<int>> queries = {{0, 1, 2}};  // dims is 4
   EXPECT_THROW(engine.search_batch(queries), std::invalid_argument);
   EXPECT_THROW(engine.search(queries[0]), std::invalid_argument);
@@ -178,8 +168,8 @@ TEST(SearchBatchT, RejectsWrongQueryLengthUnderCodecAtNominalFidelity) {
 TEST(SearchBatchT, SearchKAgreesWithBatchWinners) {
   // search_k consumes the same per-query noise stream as search, so the
   // first of k results at matching ordinals equals the batch winner.
-  const auto db = random_vectors(20, 6, 4, 61);
-  const auto queries = random_vectors(8, 6, 4, 62);
+  const auto db = data::random_int_vectors(20, 6, 4, 61);
+  const auto queries = data::random_int_vectors(8, 6, 4, 62);
 
   FerexEngine batched;
   batched.configure(DistanceMetric::kHamming, 2);
@@ -197,8 +187,8 @@ TEST(SearchBatchT, SearchKAgreesWithBatchWinners) {
 }
 
 TEST(SearchBatchT, RepeatedBatchesAreDeterministicAcrossEngines) {
-  const auto db = random_vectors(18, 7, 4, 71);
-  const auto queries = random_vectors(32, 7, 4, 72);
+  const auto db = data::random_int_vectors(18, 7, 4, 71);
+  const auto queries = data::random_int_vectors(32, 7, 4, 72);
   std::vector<std::vector<SearchResult>> runs;
   for (int run = 0; run < 2; ++run) {
     FerexEngine engine;
@@ -214,8 +204,8 @@ TEST(SearchBatchT, RepeatedBatchesAreDeterministicAcrossEngines) {
 TEST(SearchBatchT, OrdinalsAdvanceAcrossMixedCalls) {
   // A batch consumes one ordinal per query, so batch-then-search equals
   // search-then-search at the same positions.
-  const auto db = random_vectors(10, 5, 4, 81);
-  const auto queries = random_vectors(5, 5, 4, 82);
+  const auto db = data::random_int_vectors(10, 5, 4, 81);
+  const auto queries = data::random_int_vectors(5, 5, 4, 82);
 
   FerexEngine mixed;
   mixed.configure(DistanceMetric::kHamming, 2);
@@ -235,8 +225,8 @@ TEST(SearchBatchT, OrdinalsAdvanceAcrossMixedCalls) {
 TEST(BankedBatchT, BatchMatchesSequentialBitExactly) {
   arch::BankedOptions opt;
   opt.bank_rows = 6;
-  const auto db = random_vectors(20, 6, 4, 91);
-  const auto queries = random_vectors(13, 6, 4, 92);
+  const auto db = data::random_int_vectors(20, 6, 4, 91);
+  const auto queries = data::random_int_vectors(13, 6, 4, 92);
 
   arch::BankedAm batched(opt);
   batched.configure(DistanceMetric::kHamming, 2);
@@ -259,17 +249,17 @@ TEST(BankedBatchT, EmptyBatchAndErrors) {
   arch::BankedAm am;
   EXPECT_THROW((void)am.search_batch({}), std::logic_error);
   am.configure(DistanceMetric::kHamming, 2);
-  am.store(random_vectors(8, 4, 4, 95));
+  am.store(data::random_int_vectors(8, 4, 4, 95));
   EXPECT_TRUE(am.search_batch({}).empty());
   // A wrong-length query is rejected before any ordinal is consumed, so
   // the noise-stream sequence is unaffected by the failed call.
   const std::vector<std::vector<int>> bad = {{0, 1}};
   EXPECT_THROW(am.search_batch(bad), std::invalid_argument);
   EXPECT_THROW(am.search(bad[0]), std::invalid_argument);
-  const auto good = random_vectors(3, 4, 4, 96);
+  const auto good = data::random_int_vectors(3, 4, 4, 96);
   arch::BankedAm reference;
   reference.configure(DistanceMetric::kHamming, 2);
-  reference.store(random_vectors(8, 4, 4, 95));
+  reference.store(data::random_int_vectors(8, 4, 4, 95));
   for (const auto& q : good) {
     EXPECT_EQ(am.search(q).winner_current_a,
               reference.search(q).winner_current_a);
