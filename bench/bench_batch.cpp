@@ -1,12 +1,16 @@
-// Batched vs. single-query search throughput.
+// Batched vs. single-query search throughput through the AmIndex
+// serving API.
 //
-// Measures FerexEngine::search in a sequential loop against
-// FerexEngine::search_batch (worker pool sized by hardware_concurrency),
-// and the same pair on a BankedAm, at circuit fidelity — the compute-
-// heavy path where every query evaluates the full device model. Prints
-// queries/second and the batch speedup. On a multicore host the batched
-// path should approach a linear speedup, since queries share no mutable
-// state and the per-query noise streams are ordinal-addressed.
+// Measures AmIndex::search in a sequential loop against
+// AmIndex::search_batch (persistent worker pool sized by
+// hardware_concurrency) on both backends — EngineIndex (one macro,
+// labels "engine_*") and BankedIndex ("banked_*") — at circuit
+// fidelity, the compute-heavy path where every query evaluates the full
+// device model. Prints queries/second and the batch speedup. On a
+// multicore host the batched path should approach a linear speedup,
+// since queries share no mutable state and the per-query noise streams
+// are ordinal-addressed. Labels and the --json schema are unchanged
+// from the pre-AmIndex version so BENCH_batch.json stays diffable.
 //
 // Usage: bench_batch [--json <path>] [rows] [dims] [queries]
 #include <cerrno>
@@ -17,9 +21,9 @@
 #include <thread>
 #include <vector>
 
-#include "arch/banked_am.hpp"
-#include "core/ferex.hpp"
 #include "data/datasets.hpp"
+#include "serve/banked_index.hpp"
+#include "serve/engine_index.hpp"
 
 #include "bench_json.hpp"
 
@@ -39,31 +43,42 @@ struct Throughput {
   double speedup() const { return batched_qps / sequential_qps; }
 };
 
-/// Measures the sequential mode with per-query latency samples and the
-/// batched mode as one call (its per-query latency is amortized — see
-/// bench_json.hpp); appends both as records.
-template <typename Sequential, typename Batched>
+/// Measures one backend pair through the serving API: `sequential`
+/// serves one request per call (per-query latency samples), `batch`
+/// serves the whole request vector in one search_batch call (its
+/// per-query latency is amortized — see bench_json.hpp).
 Throughput measure(const std::string& label, std::size_t rows,
-                   std::size_t dims, std::size_t n_queries,
-                   std::vector<benchjson::Record>& records,
-                   Sequential&& sequential, Batched&& batched) {
+                   std::size_t dims, serve::AmIndex& sequential,
+                   serve::AmIndex& batch,
+                   const std::vector<std::vector<int>>& queries,
+                   std::vector<benchjson::Record>& records) {
+  std::vector<serve::SearchRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+
   Throughput t;
   benchjson::Record seq;
   seq.label = label + "_sequential";
   seq.rows = rows;
   seq.dims = dims;
   seq.fidelity = "circuit";
-  benchjson::fill_timing(seq, benchjson::time_calls(n_queries, sequential),
-                         1);
+  benchjson::fill_timing(
+      seq,
+      benchjson::time_calls(requests.size(),
+                            [&](std::size_t i) {
+                              (void)sequential.search(requests[i]);
+                            }),
+      1);
   t.sequential_qps = seq.qps;
   records.push_back(seq);
 
   benchjson::Record bat = seq;
   bat.label = label + "_batched";
   const auto start = Clock::now();
-  batched();
+  (void)batch.search_batch(requests);
   benchjson::fill_timing(bat, std::vector<double>{seconds_since(start)},
-                         n_queries);
+                         requests.size());
   t.batched_qps = bat.qps;
   records.push_back(bat);
   return t;
@@ -101,6 +116,8 @@ int main(int argc, char** argv) {
 
   const auto db = data::random_int_vectors(rows, dims, 4, 1);
   const auto queries = data::random_int_vectors(n_queries, dims, 4, 2);
+  serve::SearchRequest warm;
+  warm.query = queries.front();
 
   std::printf("bench_batch: %zu rows x %zu dims, %zu queries, "
               "hardware_concurrency=%u\n\n",
@@ -108,22 +125,20 @@ int main(int argc, char** argv) {
 
   std::vector<benchjson::Record> records;
   {
-    core::FerexEngine sequential;
+    serve::EngineIndex sequential;
     sequential.configure(csp::DistanceMetric::kHamming, 2);
     sequential.store(db);
-    core::FerexEngine batch_engine;
-    batch_engine.configure(csp::DistanceMetric::kHamming, 2);
-    batch_engine.store(db);
+    serve::EngineIndex batch;
+    batch.configure(csp::DistanceMetric::kHamming, 2);
+    batch.store(db);
     // Warm both paths once so programming/allocation noise stays out of
     // the measured window.
-    (void)sequential.search(queries.front());
-    (void)batch_engine.search(queries.front());
+    (void)sequential.search(warm);
+    (void)batch.search(warm);
 
-    const auto t = measure(
-        "engine", rows, dims, n_queries, records,
-        [&](std::size_t i) { (void)sequential.search(queries[i]); },
-        [&] { (void)batch_engine.search_batch(queries); });
-    std::printf("FerexEngine   sequential %10.0f q/s   batched %10.0f q/s   "
+    const auto t =
+        measure("engine", rows, dims, sequential, batch, queries, records);
+    std::printf("EngineIndex   sequential %10.0f q/s   batched %10.0f q/s   "
                 "speedup %.2fx\n",
                 t.sequential_qps, t.batched_qps, t.speedup());
   }
@@ -131,20 +146,18 @@ int main(int argc, char** argv) {
   {
     arch::BankedOptions opt;
     opt.bank_rows = rows / 4 ? rows / 4 : 1;
-    arch::BankedAm sequential(opt);
+    serve::BankedIndex sequential(opt);
     sequential.configure(csp::DistanceMetric::kHamming, 2);
     sequential.store(db);
-    arch::BankedAm batch_am(opt);
-    batch_am.configure(csp::DistanceMetric::kHamming, 2);
-    batch_am.store(db);
-    (void)sequential.search(queries.front());
-    (void)batch_am.search(queries.front());
+    serve::BankedIndex batch(opt);
+    batch.configure(csp::DistanceMetric::kHamming, 2);
+    batch.store(db);
+    (void)sequential.search(warm);
+    (void)batch.search(warm);
 
-    const auto t = measure(
-        "banked", rows, dims, n_queries, records,
-        [&](std::size_t i) { (void)sequential.search(queries[i]); },
-        [&] { (void)batch_am.search_batch(queries); });
-    std::printf("BankedAm      sequential %10.0f q/s   batched %10.0f q/s   "
+    const auto t =
+        measure("banked", rows, dims, sequential, batch, queries, records);
+    std::printf("BankedIndex   sequential %10.0f q/s   batched %10.0f q/s   "
                 "speedup %.2fx\n",
                 t.sequential_qps, t.batched_qps, t.speedup());
   }

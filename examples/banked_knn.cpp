@@ -1,16 +1,19 @@
-// Large-scale KNN through the banked multi-macro architecture.
+// Large-scale KNN served through the AmIndex API over banked macros.
 //
 // A single FeReX macro holds at most a few hundred rows; a KNN database
 // of 1-2k training vectors therefore spans multiple macros. This example
-// classifies an MNIST-shaped synthetic digit set with 1-NN over banked
-// FeReX arrays, reports accuracy against software KNN, and prints the
+// classifies an MNIST-shaped synthetic digit set with 1-NN through
+// serve::BankedIndex — the unified request/response surface — bulk-
+// storing most of the training set and streaming the remainder in with
+// insert() (banks grow on demand; searches are bit-identical to storing
+// everything up front). It reports accuracy against software KNN and the
 // architecture-level delay/energy of the banked search.
 #include <cstdio>
 
-#include "arch/banked_am.hpp"
 #include "data/datasets.hpp"
 #include "ml/knn.hpp"
 #include "ml/quantize.hpp"
+#include "serve/banked_index.hpp"
 
 int main() {
   using ferex::csp::DistanceMetric;
@@ -37,20 +40,34 @@ int main() {
   // Nominal fidelity keeps this example fast; the robustness_study and
   // bench_fig7 cover circuit-level noise.
   opt.engine.fidelity = ferex::core::SearchFidelity::kNominal;
-  ferex::arch::BankedAm am(opt);
-  am.configure(DistanceMetric::kHamming, 2);
-  am.store(database);
-  std::printf("banked across %zu macros of up to %zu rows\n",
-              am.bank_count(), opt.bank_rows);
+  ferex::serve::BankedIndex index(opt);
+  index.configure(DistanceMetric::kHamming, 2);
+
+  // Bulk-load all but the last 100 vectors, then stream those in — the
+  // live write path a deployed index uses as training data arrives.
+  const std::size_t bulk = database.size() - 100;
+  index.store({database.begin(), database.begin() + bulk});
+  ferex::circuit::WriteCost streamed;
+  for (std::size_t r = bulk; r < database.size(); ++r) {
+    streamed = index.insert(database[r]).cost;
+  }
+  std::printf("banked across %zu macros of up to %zu rows "
+              "(%zu bulk-stored + %zu streamed inserts, "
+              "last insert %.1f us / %.2f nJ)\n",
+              index.bank_count(), opt.bank_rows, bulk,
+              database.size() - bulk, streamed.latency_s * 1e6,
+              streamed.energy_j * 1e9);
 
   const ferex::ml::KnnClassifier software(train_q, ds.train_y);
   std::size_t hw_hits = 0, sw_hits = 0;
+  ferex::serve::SearchRequest request;
   for (std::size_t s = 0; s < test_q.rows(); ++s) {
     const auto row = test_q.row(s);
-    const std::vector<int> query(row.begin(), row.end());
-    const auto result = am.search(query);
-    if (ds.train_y[result.nearest] == ds.test_y[s]) ++hw_hits;
-    if (software.predict(DistanceMetric::kHamming, query, 1) == ds.test_y[s]) {
+    request.query.assign(row.begin(), row.end());
+    const auto response = index.search(request);
+    if (ds.train_y[response.best().global_row] == ds.test_y[s]) ++hw_hits;
+    if (software.predict(DistanceMetric::kHamming, request.query, 1) ==
+        ds.test_y[s]) {
       ++sw_hits;
     }
   }
@@ -59,7 +76,7 @@ int main() {
               hw_hits / n, sw_hits / n);
   std::printf("banked search: %.2f ns, %.2f nJ per query "
               "(%zu banks in parallel + global LTA)\n",
-              am.search_delay_s() * 1e9, am.search_energy_j() * 1e9,
-              am.bank_count());
+              index.banked().search_delay_s() * 1e9,
+              index.banked().search_energy_j() * 1e9, index.bank_count());
   return 0;
 }

@@ -23,6 +23,19 @@ void BankedAm::configure(csp::DistanceMetric metric, int bits) {
   for (auto& bank : banks_) bank->configure(metric, bits);
 }
 
+std::unique_ptr<core::FerexEngine> BankedAm::make_bank(
+    std::size_t start, std::size_t bank_count) const {
+  auto engine_options = options_.engine;
+  // Decorrelate device variation across macros.
+  engine_options.seed = options_.engine.seed + 0x9e37 * (start + 1);
+  // With several banks this layer owns intra-query parallelism (it
+  // fans banks); per-bank row fan-out on top would nest worker pools.
+  if (bank_count > 1) engine_options.intra_query_min_devices = 0;
+  auto bank = std::make_unique<core::FerexEngine>(engine_options);
+  bank->configure(metric_, bits_);
+  return bank;
+}
+
 void BankedAm::store(const std::vector<std::vector<int>>& database) {
   if (!configured_) {
     throw std::logic_error("BankedAm::store: configure() first");
@@ -41,22 +54,59 @@ void BankedAm::store(const std::vector<std::vector<int>>& database) {
         std::min(start + options_.bank_rows, database.size());
     std::vector<std::vector<int>> slice(database.begin() + start,
                                         database.begin() + end);
-    auto engine_options = options_.engine;
-    // Decorrelate device variation across macros.
-    engine_options.seed = options_.engine.seed + 0x9e37 * (start + 1);
-    // With several banks this layer owns intra-query parallelism (it
-    // fans banks); per-bank row fan-out on top would nest worker pools.
-    if (bank_count > 1) engine_options.intra_query_min_devices = 0;
-    auto bank = std::make_unique<core::FerexEngine>(engine_options);
-    bank->configure(metric_, bits_);
+    auto bank = make_bank(start, bank_count);
     bank->store(std::move(slice));
     banks_.push_back(std::move(bank));
     bank_offsets_.push_back(start);
   }
 }
 
+BankedInsert BankedAm::insert(std::span<const int> vector) {
+  if (!configured_) {
+    throw std::logic_error("BankedAm::insert: configure() first");
+  }
+  if (!banks_.empty() && vector.size() != dims()) {
+    // A fresh bank's engine would otherwise accept any length as its
+    // first row; the banked database keeps one dimensionality.
+    throw std::invalid_argument("BankedAm::insert: vector.size() != dims");
+  }
+  BankedInsert receipt;
+  const bool need_new_bank =
+      banks_.empty() || banks_.back()->stored_count() >= options_.bank_rows;
+  if (need_new_bank) {
+    // The new bank's first global row: every earlier bank is full, so
+    // this is a multiple of bank_rows — the same `start` a fresh store()
+    // of the concatenated database would feed the seed formula.
+    const std::size_t start = total_rows_;
+    auto bank = make_bank(start, banks_.size() + 1);
+    receipt.cost = bank->insert(vector);  // throws before any state change
+    banks_.push_back(std::move(bank));
+    bank_offsets_.push_back(start);
+    if (banks_.size() == 2) {
+      // The first bank was created when it was the only one and kept its
+      // row fan-out; now that this layer fans banks, align it with what
+      // store() would have configured. Scheduling only — results are
+      // schedule-invariant.
+      banks_.front()->options().intra_query_min_devices = 0;
+    }
+  } else {
+    receipt.cost = banks_.back()->insert(vector);
+  }
+  receipt.bank = banks_.size() - 1;
+  receipt.global_row = total_rows_++;
+  return receipt;
+}
+
 std::size_t BankedAm::global_index(std::size_t bank, std::size_t local) const {
   return bank_offsets_[bank] + local;
+}
+
+std::size_t BankedAm::bank_of(std::size_t global_row) const {
+  // bank_offsets_ is sorted; the row lives in the last bank whose first
+  // row is not past it.
+  const auto it = std::upper_bound(bank_offsets_.begin(), bank_offsets_.end(),
+                                   global_row);
+  return static_cast<std::size_t>(it - bank_offsets_.begin()) - 1;
 }
 
 bool BankedAm::parallel_banks_worthwhile() const noexcept {
@@ -81,8 +131,7 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   // ordinal, so banks stay decorrelated and the result is independent of
   // execution order — fanning the banks across the pool is bit-identical
   // to the serial sweep.
-  std::vector<double> winner_currents(banks_.size());
-  std::vector<std::size_t> winner_locals(banks_.size());
+  std::vector<core::SearchResult> bank_results(banks_.size());
   // Inside a query fan-out, force the banks' row loops serial so pools
   // never nest; otherwise the engines keep their own heuristic (multi-
   // bank engines have row fan-out disabled at store(), single-bank ones
@@ -90,9 +139,7 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   const std::optional<bool> bank_parallel_rows =
       in_query_pool ? std::optional<bool>(false) : std::nullopt;
   const auto run_bank = [&](std::size_t b) {
-    const auto r = banks_[b]->search_at(query, ordinal, bank_parallel_rows);
-    winner_currents[b] = r.winner_current_a;
-    winner_locals[b] = r.nearest;
+    bank_results[b] = banks_[b]->search_at(query, ordinal, bank_parallel_rows);
   };
   if (parallel_banks && banks_.size() > 1) {
     util::parallel_for(banks_.size(), run_bank);
@@ -100,13 +147,23 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }
   // Stage 2: a small global comparator over the bank winners.
+  std::vector<double> winner_currents(banks_.size());
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    winner_currents[b] = bank_results[b].winner_current_a;
+  }
   const auto decision =
       global_lta_.decide(winner_currents, banks_.front()->sense_unit(),
                          nullptr);
+  const auto& winner = bank_results[decision.winner];
   BankedSearchResult out;
   out.bank = decision.winner;
-  out.nearest = global_index(decision.winner, winner_locals[decision.winner]);
+  out.nearest = global_index(decision.winner, winner.nearest);
   out.winner_current_a = decision.winner_current_a;
+  // Global margin: the gap between the two best bank winners. A single
+  // bank has no second winner to compare against — pass its own margin
+  // through (the global stage over one input is an identity).
+  out.margin_a = banks_.size() > 1 ? decision.margin_a : winner.margin_a;
+  out.nominal_distance = winner.nominal_distance;
   return out;
 }
 
@@ -133,35 +190,68 @@ BankedSearchResult BankedAm::search(std::span<const int> query) {
                         /*in_query_pool=*/false);
 }
 
-std::vector<BankedSearchResult> BankedAm::search_batch(
-    std::span<const std::vector<int>> queries) {
+BankedSearchResult BankedAm::search_at(
+    std::span<const int> query, std::uint64_t ordinal,
+    std::optional<bool> parallel_banks) const {
   if (banks_.empty()) {
-    throw std::logic_error("BankedAm::search_batch: store() first");
+    throw std::logic_error("BankedAm::search_at: store() first");
   }
-  std::vector<BankedSearchResult> results(queries.size());
-  if (queries.empty()) return results;
-  for (const auto& q : queries) check_query(q);
-  const std::uint64_t base = query_serial_;
-  query_serial_ += queries.size();
+  check_query(query);
+  return search_ordinal(query, ordinal,
+                        parallel_banks.value_or(parallel_banks_worthwhile()),
+                        /*in_query_pool=*/false);
+}
+
+bool BankedAm::inner_fan_for_batch(std::size_t batch_size) const noexcept {
   // Small batches cannot saturate the pool across queries alone; run
   // them serially and fan each query's banks (or, single-bank, its
   // rows) instead — but only when the inner fan-out is at least as wide
   // as the query fan-out it replaces, else fanning queries wins. Either
   // schedule yields bit-identical results.
+  if (batch_size == 0 || batch_size >= util::pool_width()) return false;
   const bool inner_fan_wider =
-      banks_.size() > 1 ? banks_.size() >= queries.size()
+      banks_.size() > 1 ? banks_.size() >= batch_size
                         : banks_.front()->intra_query_parallel();
-  if (queries.size() < util::pool_width() && inner_fan_wider &&
-      (banks_.size() == 1 || parallel_banks_worthwhile())) {
+  return inner_fan_wider &&
+         (banks_.size() == 1 || parallel_banks_worthwhile());
+}
+
+std::vector<BankedSearchResult> BankedAm::search_batch(
+    std::span<const std::vector<int>> queries) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_batch: store() first");
+  }
+  for (const auto& q : queries) check_query(q);
+  const std::uint64_t base = query_serial_;
+  query_serial_ += queries.size();
+  return search_batch_validated(queries, base);
+}
+
+std::vector<BankedSearchResult> BankedAm::search_batch_at(
+    std::span<const std::vector<int>> queries,
+    std::uint64_t base_ordinal) const {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_batch_at: store() first");
+  }
+  for (const auto& q : queries) check_query(q);
+  return search_batch_validated(queries, base_ordinal);
+}
+
+std::vector<BankedSearchResult> BankedAm::search_batch_validated(
+    std::span<const std::vector<int>> queries,
+    std::uint64_t base_ordinal) const {
+  std::vector<BankedSearchResult> results(queries.size());
+  if (queries.empty()) return results;
+  if (inner_fan_for_batch(queries.size())) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      results[i] = search_ordinal(queries[i], base + i,
+      results[i] = search_ordinal(queries[i], base_ordinal + i,
                                   /*parallel_banks=*/banks_.size() > 1,
                                   /*in_query_pool=*/false);
     }
     return results;
   }
   util::parallel_for(queries.size(), [&](std::size_t i) {
-    results[i] = search_ordinal(queries[i], base + i,
+    results[i] = search_ordinal(queries[i], base_ordinal + i,
                                 /*parallel_banks=*/false,
                                 /*in_query_pool=*/true);
   });
@@ -173,9 +263,23 @@ std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search_k: store() first");
   }
+  const auto hits = search_k_hits(query, k);
+  std::vector<std::size_t> winners;
+  winners.reserve(hits.size());
+  for (const auto& hit : hits) winners.push_back(hit.nearest);
+  return winners;
+}
+
+std::vector<BankedSearchResult> BankedAm::search_k_hits(
+    std::span<const int> query, std::size_t k,
+    std::optional<bool> parallel_banks) const {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::search_k_hits: store() first");
+  }
   if (k == 0 || k > total_rows_) {
     throw std::invalid_argument("BankedAm::search_k: bad k");
   }
+  check_query(query);
   // Each bank holds its sensed row currents (the post-decoder can mask
   // individual row branches); the global stage iteratively extracts the
   // minimum across the concatenated currents. Banks fire concurrently,
@@ -184,7 +288,8 @@ std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,
   const auto run_bank = [&](std::size_t b) {
     per_bank[b] = banks_[b]->row_currents(query);
   };
-  if (parallel_banks_worthwhile()) {
+  if (parallel_banks.value_or(parallel_banks_worthwhile()) &&
+      banks_.size() > 1) {
     util::parallel_for(banks_.size(), run_bank);
   } else {
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
@@ -194,7 +299,28 @@ std::vector<std::size_t> BankedAm::search_k(std::span<const int> query,
   for (const auto& currents : per_bank) {
     all.insert(all.end(), currents.begin(), currents.end());
   }
-  return global_lta_.decide_k(all, banks_.front()->sense_unit(), k, nullptr);
+  const auto decisions = global_lta_.decide_k_detailed(
+      all, banks_.front()->sense_unit(), k, nullptr);
+  std::vector<BankedSearchResult> hits;
+  hits.reserve(decisions.size());
+  for (const auto& decision : decisions) {
+    BankedSearchResult hit;
+    hit.nearest = decision.winner;
+    hit.bank = bank_of(decision.winner);
+    hit.winner_current_a = decision.winner_current_a;
+    hit.margin_a = decision.margin_a;
+    hit.nominal_distance = banks_[hit.bank]->nominal_distance(
+        query, decision.winner - bank_offsets_[hit.bank]);
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+void BankedAm::validate_query(std::span<const int> query) const {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::validate_query: no rows stored");
+  }
+  check_query(query);
 }
 
 double BankedAm::search_delay_s() const {

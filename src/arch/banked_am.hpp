@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -31,11 +32,25 @@ struct BankedOptions {
   core::FerexOptions engine{};      ///< per-macro configuration
 };
 
-/// Result of a banked search.
+/// Result of a banked search — field parity with core::SearchResult plus
+/// the bank coordinate, so single-macro and banked hits interchange.
 struct BankedSearchResult {
   std::size_t nearest = 0;          ///< global row index
   std::size_t bank = 0;             ///< bank holding the winner
   double winner_current_a = 0.0;    ///< winner's sensed current
+  /// Sensed gap at the global comparison stage: with several banks, the
+  /// distance between the two best bank winners; with one bank, that
+  /// bank's own margin (the global stage over a single input is an
+  /// identity). For k-NN hits, the gap to the best remaining row.
+  double margin_a = 0.0;
+  int nominal_distance = 0;         ///< encoding-level distance of winner
+};
+
+/// Receipt for one streaming insert.
+struct BankedInsert {
+  std::size_t global_row = 0;       ///< where the vector landed
+  std::size_t bank = 0;             ///< bank that absorbed it
+  circuit::WriteCost cost{};        ///< write cost of programming the row
 };
 
 /// A database of vectors partitioned across FeReX macros.
@@ -49,8 +64,23 @@ class BankedAm {
   /// Stores the database, partitioning rows across banks.
   void store(const std::vector<std::vector<int>>& database);
 
+  /// Streaming insert: appends one vector to the last bank, growing a
+  /// fresh bank on demand when it is full (banks stay at most bank_rows
+  /// tall). Requires configure(); the first insert establishes the
+  /// dimensionality. Searches after N inserts are bit-identical to a
+  /// fresh store() of the concatenated database — bank partitioning,
+  /// per-bank seeds, and device variation all follow the same formulas.
+  /// Returns where the row landed and its write cost. Throws without
+  /// mutating on a wrong-length or out-of-alphabet vector.
+  BankedInsert insert(std::span<const int> vector);
+
   std::size_t bank_count() const noexcept { return banks_.size(); }
   std::size_t stored_count() const noexcept { return total_rows_; }
+
+  /// Logical dimensionality of the stored vectors (0 before any row).
+  std::size_t dims() const noexcept {
+    return banks_.empty() ? 0 : banks_.front()->dims();
+  }
 
   /// Global nearest-neighbor search (all banks in parallel + global LTA).
   /// When the work-size heuristic allows (multiple banks and hardware
@@ -59,7 +89,21 @@ class BankedAm {
   /// pool — the hardware fires all macros at once, and a single query
   /// should too. Results are bit-identical to the serial sweep (per-bank
   /// noise is ordinal-addressed).
+  /// A thin shim over the const ordinal-addressed core (search_at) that
+  /// consumes one ordinal; mutates only query_serial_.
   BankedSearchResult search(std::span<const int> query);
+
+  /// Const ordinal-addressed core of search (the engine's search_at
+  /// pattern): the ordinal selects every bank's comparator-noise stream,
+  /// so callers scheduling their own concurrency stay deterministic.
+  /// Does not consume the ordinal counter. `parallel_banks` overrides
+  /// the bank fan-out heuristic (callers already inside a worker pool
+  /// pass false); nullopt applies the work-size gate. The schedule never
+  /// affects results.
+  BankedSearchResult search_at(std::span<const int> query,
+                               std::uint64_t ordinal,
+                               std::optional<bool> parallel_banks =
+                                   std::nullopt) const;
 
   /// Batched global search: queries fan across a worker pool sized by
   /// std::thread::hardware_concurrency(), each worker driving all banks
@@ -71,8 +115,39 @@ class BankedAm {
   std::vector<BankedSearchResult> search_batch(
       std::span<const std::vector<int>> queries);
 
-  /// Global k-nearest (nearest first).
+  /// Const ordinal-addressed core of search_batch: queries take ordinals
+  /// base_ordinal, base_ordinal + 1, ... Does not consume the ordinal
+  /// counter; results are bit-identical to search_at per query.
+  std::vector<BankedSearchResult> search_batch_at(
+      std::span<const std::vector<int>> queries,
+      std::uint64_t base_ordinal) const;
+
+  /// Global k-nearest (nearest first). A shim over search_k_hits.
   std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
+
+  /// The k-NN serving core: top-k rows nearest first with full hit
+  /// detail (sensed current, margin to the best remaining row, nominal
+  /// distance). Const; unlike the two-stage single-NN path this one is
+  /// deterministic — every bank exposes its raw row currents and the
+  /// global post-decoder masks iteratively, with no per-bank LTA
+  /// decisions and hence no comparator-noise draws — so it takes no
+  /// ordinal. The winner sequence is bit-identical to search_k.
+  std::vector<BankedSearchResult> search_k_hits(
+      std::span<const int> query, std::size_t k,
+      std::optional<bool> parallel_banks = std::nullopt) const;
+
+  /// Validates a query exactly as every search entry point does: throws
+  /// std::invalid_argument on wrong length, std::out_of_range on
+  /// out-of-alphabet values, std::logic_error before any stored row.
+  /// Exposed so serving layers can reject requests before consuming any
+  /// query ordinal.
+  void validate_query(std::span<const int> query) const;
+
+  /// True when a batch of `batch_size` queries is better served by
+  /// running queries serially and fanning each query's banks (or, single
+  /// bank, its rows) — the scheduling rule search_batch applies. Never
+  /// affects results.
+  bool inner_fan_for_batch(std::size_t batch_size) const noexcept;
 
   /// Delay of one banked search: banks operate in parallel, then the
   /// global comparator resolves bank winners.
@@ -83,6 +158,14 @@ class BankedAm {
 
  private:
   std::size_t global_index(std::size_t bank, std::size_t local) const;
+  /// Bank holding a global row index.
+  std::size_t bank_of(std::size_t global_row) const;
+  /// A configured, empty engine for the bank whose first global row is
+  /// `start`, with the per-bank seed decorrelation formula store() and
+  /// insert() share (bit-identity of the two population paths depends on
+  /// both using exactly this). `bank_count` is the count after adding it.
+  std::unique_ptr<core::FerexEngine> make_bank(std::size_t start,
+                                               std::size_t bank_count) const;
   void check_query(std::span<const int> query) const;
   /// Work-size gate for fanning banks across the pool: multiple banks,
   /// multiple hardware threads, circuit fidelity, and total devices
@@ -97,6 +180,10 @@ class BankedAm {
                                     std::uint64_t ordinal,
                                     bool parallel_banks,
                                     bool in_query_pool) const;
+  /// Post-validation batch core shared by search_batch / search_batch_at.
+  std::vector<BankedSearchResult> search_batch_validated(
+      std::span<const std::vector<int>> queries,
+      std::uint64_t base_ordinal) const;
 
   BankedOptions options_;
   std::uint64_t query_serial_ = 0;

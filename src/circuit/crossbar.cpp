@@ -141,6 +141,43 @@ void CrossbarArray::program_row(std::size_t row, std::span<const int> values) {
   }
 }
 
+void CrossbarArray::append_row(std::span<const int> values, util::Rng& rng) {
+  // program_row validates values again, but only after the per-device
+  // arrays have grown — check here first so a bad vector cannot leave a
+  // half-appended erased row behind.
+  if (values.size() != dims_) {
+    throw std::invalid_argument("append_row: values.size() != dims");
+  }
+  for (int v : values) {
+    if (v < 0 || static_cast<std::size_t>(v) >= encoding_.stored_count()) {
+      throw std::out_of_range("append_row: element value out of range");
+    }
+  }
+  const std::size_t per_row = dims_ * fefets_per_cell_;
+  const std::size_t old_devices = rows_ * per_row;
+  const device::VariationModel variation(config_.variation);
+  vth_offsets_.resize(old_devices + per_row);
+  resistances_.resize(old_devices + per_row);
+  // Same draw order as the constructor (Vth offset then R multiplier per
+  // device, devices in row-major order) — appending continues the exact
+  // variation sequence a larger construction would have drawn.
+  for (std::size_t d = old_devices; d < old_devices + per_row; ++d) {
+    vth_offsets_[d] = variation.sample_vth_offset(rng);
+    resistances_[d] =
+        config_.cell.resistance_ohm * variation.sample_r_multiplier(rng);
+  }
+  vth_.resize(old_devices + per_row, config_.fet.vth_max_v);
+  inv_r_.resize(old_devices + per_row);
+  vth_factor_.resize(old_devices + per_row);
+  for (std::size_t d = old_devices; d < old_devices + per_row; ++d) {
+    inv_r_[d] = 1.0 / resistances_[d];
+    vth_factor_[d] = std::exp(-vth_[d] * subvt_alpha_);
+  }
+  stored_values_.resize((rows_ + 1) * dims_, 0);
+  ++rows_;
+  program_row(rows_ - 1, values);
+}
+
 CrossbarArray::RowSolve CrossbarArray::solve_row(
     std::size_t row, std::span<const double> vgs, std::span<const double> vds,
     std::span<const double> gate_factors) const {

@@ -103,6 +103,15 @@ class CrossbarArray {
   /// encoding's stored rows). values.size() must equal dims().
   void program_row(std::size_t row, std::span<const int> values);
 
+  /// Grows the array by one row and programs it — the streaming-insert
+  /// write path (no re-store of existing rows). The new row's device
+  /// variation is drawn from `rng` in the same per-device order the
+  /// constructor uses, so an array built by N-row construction followed
+  /// by appends is bit-identical (devices, currents, searches) to one
+  /// constructed with all rows up front from the same generator.
+  /// Validates before mutating: a throwing call leaves the array as-is.
+  void append_row(std::span<const int> values, util::Rng& rng);
+
   /// Stored element value of a row (what was programmed).
   int stored_value(std::size_t row, std::size_t dim) const {
     return stored_values_[row * dims_ + dim];

@@ -35,20 +35,30 @@ LtaDecision LtaCircuit::decide(std::span<const double> row_currents_a,
 std::vector<std::size_t> LtaCircuit::decide_k(
     std::span<const double> row_currents_a, double unit_current_a,
     std::size_t k, util::Rng* rng) const {
+  const auto detailed =
+      decide_k_detailed(row_currents_a, unit_current_a, k, rng);
+  std::vector<std::size_t> winners;
+  winners.reserve(detailed.size());
+  for (const auto& d : detailed) winners.push_back(d.winner);
+  return winners;
+}
+
+std::vector<LtaDecision> LtaCircuit::decide_k_detailed(
+    std::span<const double> row_currents_a, double unit_current_a,
+    std::size_t k, util::Rng* rng) const {
   if (k == 0 || k > row_currents_a.size()) {
     throw std::invalid_argument("LtaCircuit::decide_k: bad k");
   }
   std::vector<double> currents(row_currents_a.begin(), row_currents_a.end());
-  std::vector<std::size_t> winners;
-  winners.reserve(k);
+  std::vector<LtaDecision> decisions;
+  decisions.reserve(k);
   for (std::size_t round = 0; round < k; ++round) {
-    const LtaDecision d = decide(currents, unit_current_a, rng);
-    winners.push_back(d.winner);
+    decisions.push_back(decide(currents, unit_current_a, rng));
     // Mask the winner for subsequent rounds (post-decoder disables the
     // row branch).
-    currents[d.winner] = std::numeric_limits<double>::infinity();
+    currents[decisions.back().winner] = std::numeric_limits<double>::infinity();
   }
-  return winners;
+  return decisions;
 }
 
 LtaDecision LtaCircuit::decide_max(std::span<const double> row_currents_a,

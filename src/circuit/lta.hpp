@@ -50,9 +50,21 @@ class LtaCircuit {
   /// k-NN extension: repeatedly applies the LTA, masking previous
   /// winners (the paper's LTA + post-decoder supports NN search; k > 1 is
   /// realized by iterative masking). Returns row indices, nearest first.
+  /// A shim over decide_k_detailed — bit-identical noise draws.
   std::vector<std::size_t> decide_k(std::span<const double> row_currents_a,
                                     double unit_current_a, std::size_t k,
                                     util::Rng* rng) const;
+
+  /// decide_k with the full per-round decision: each entry carries the
+  /// round's winner, its sensed current, and its margin to the best
+  /// remaining (unmasked) row — what a serving layer needs to report
+  /// top-k hits instead of bare indices. Round 0 is bit-identical to
+  /// decide() over the same currents and rng state; on the final round
+  /// with every other row masked the margin is +infinity (nothing left
+  /// to compare against).
+  std::vector<LtaDecision> decide_k_detailed(
+      std::span<const double> row_currents_a, double unit_current_a,
+      std::size_t k, util::Rng* rng) const;
 
   /// Winner-take-all dual: picks the MAXIMUM-current row. Used when the
   /// row current encodes similarity instead of distance (best-match /

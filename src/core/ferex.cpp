@@ -90,6 +90,47 @@ void FerexEngine::rebuild_array() {
   }
 }
 
+circuit::WriteCost FerexEngine::insert(std::span<const int> vector) {
+  if (!encoding_) {
+    throw std::logic_error("FerexEngine::insert: configure() first");
+  }
+  if (vector.empty()) {
+    throw std::invalid_argument("FerexEngine::insert: empty vector");
+  }
+  if (!database_.empty() && vector.size() != database_.front().size()) {
+    throw std::invalid_argument("FerexEngine::insert: vector.size() != dims");
+  }
+  // Validate the logical alphabet before mutating anything (append_row
+  // re-checks the physical values, but the codec expands with only an
+  // assert, and a failed insert must leave the engine untouched).
+  const std::size_t alphabet =
+      codec_ ? codec_->logical_levels() : encoding_->stored_count();
+  for (const int v : vector) {
+    if (v < 0 || static_cast<std::size_t>(v) >= alphabet) {
+      throw std::out_of_range("FerexEngine::insert: value out of range");
+    }
+  }
+  database_.emplace_back(vector.begin(), vector.end());
+  try {
+    if (database_.size() == 1) {
+      // First row establishes the geometry; building the one-row array
+      // draws the same variation prefix a larger store() would.
+      rebuild_array();
+    } else if (codec_) {
+      array_->append_row(codec_->expand(vector), rng_);
+    } else {
+      array_->append_row(vector, rng_);
+    }
+  } catch (...) {
+    // Keep the no-mutation-on-throw guarantee on every path (a failed
+    // first-row rebuild must not leave a phantom row behind a null
+    // array, where a retry would take the append branch).
+    database_.pop_back();
+    throw;
+  }
+  return row_write_cost(database_.size() - 1);
+}
+
 util::Rng FerexEngine::query_rng(std::uint64_t ordinal) const noexcept {
   // Every query ordinal gets an independent comparator-noise stream
   // derived from the engine seed, so results do not depend on the order
@@ -105,28 +146,44 @@ bool FerexEngine::intra_query_parallel() const noexcept {
          util::pool_width() > 1;
 }
 
-SearchResult FerexEngine::search_expanded(std::span<const int> query,
-                                          util::Rng* rng,
-                                          bool parallel_rows) const {
-  SearchResult result;
+std::vector<SearchResult> FerexEngine::search_hits_expanded(
+    std::span<const int> query, std::size_t k, util::Rng* rng,
+    bool parallel_rows) const {
+  std::vector<SearchResult> hits;
+  hits.reserve(k);
   if (options_.fidelity == SearchFidelity::kCircuit) {
     const auto currents = array_->search(query, parallel_rows);
-    const auto decision = lta_.decide(currents, array_->unit_current_a(), rng);
-    result.nearest = decision.winner;
-    result.winner_current_a = decision.winner_current_a;
-    result.margin_a = decision.margin_a;
-    result.nominal_distance = array_->nominal_distance(query, result.nearest);
+    const auto decisions =
+        lta_.decide_k_detailed(currents, array_->unit_current_a(), k, rng);
+    for (const auto& decision : decisions) {
+      SearchResult hit;
+      hit.nearest = decision.winner;
+      hit.winner_current_a = decision.winner_current_a;
+      hit.margin_a = decision.margin_a;
+      hit.nominal_distance = array_->nominal_distance(query, hit.nearest);
+      hits.push_back(hit);
+    }
   } else {
     // Nominal fidelity: exact integer distance arithmetic, ideal LTA.
     const auto distances = array_->nominal_distances(query);
     const std::vector<double> currents(distances.begin(), distances.end());
-    const auto decision = lta_.decide(currents, 1.0, nullptr);
-    result.nearest = decision.winner;
-    result.winner_current_a = decision.winner_current_a;
-    result.margin_a = decision.margin_a;
-    result.nominal_distance = distances[result.nearest];
+    const auto decisions = lta_.decide_k_detailed(currents, 1.0, k, nullptr);
+    for (const auto& decision : decisions) {
+      SearchResult hit;
+      hit.nearest = decision.winner;
+      hit.winner_current_a = decision.winner_current_a;
+      hit.margin_a = decision.margin_a;
+      hit.nominal_distance = distances[hit.nearest];
+      hits.push_back(hit);
+    }
   }
-  return result;
+  return hits;
+}
+
+SearchResult FerexEngine::search_expanded(std::span<const int> query,
+                                          util::Rng* rng,
+                                          bool parallel_rows) const {
+  return search_hits_expanded(query, 1, rng, parallel_rows).front();
 }
 
 SearchResult FerexEngine::search(std::span<const int> query) {
@@ -156,16 +213,22 @@ void FerexEngine::check_query(std::span<const int> query) const {
   }
 }
 
-SearchResult FerexEngine::search_validated(std::span<const int> query,
-                                           std::uint64_t ordinal,
-                                           bool parallel_rows) const {
+std::vector<SearchResult> FerexEngine::search_hits_validated(
+    std::span<const int> query, std::size_t k, std::uint64_t ordinal,
+    bool parallel_rows) const {
   std::vector<int> expanded;
   if (codec_) {
     expanded = codec_->expand(query);
     query = expanded;
   }
   util::Rng rng = query_rng(ordinal);
-  return search_expanded(query, &rng, parallel_rows);
+  return search_hits_expanded(query, k, &rng, parallel_rows);
+}
+
+SearchResult FerexEngine::search_validated(std::span<const int> query,
+                                           std::uint64_t ordinal,
+                                           bool parallel_rows) const {
+  return search_hits_validated(query, 1, ordinal, parallel_rows).front();
 }
 
 SearchResult FerexEngine::search_at(std::span<const int> query,
@@ -180,43 +243,81 @@ SearchResult FerexEngine::search_at(std::span<const int> query,
                           parallel_rows.value_or(intra_query_parallel()));
 }
 
+std::vector<SearchResult> FerexEngine::search_hits_at(
+    std::span<const int> query, std::size_t k, std::uint64_t ordinal,
+    std::optional<bool> parallel_rows) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::search_hits_at: configure() + store() first");
+  }
+  if (k == 0 || k > database_.size()) {
+    throw std::invalid_argument("FerexEngine::search_hits_at: bad k");
+  }
+  check_query(query);
+  return search_hits_validated(query, k, ordinal,
+                               parallel_rows.value_or(intra_query_parallel()));
+}
+
+bool FerexEngine::inner_fan_for_batch(std::size_t batch_size) const noexcept {
+  // When the batch alone cannot saturate the pool, keep the queries
+  // serial and fan each query's rows instead — but only when the row fan
+  // is at least as wide as the query fan it replaces. Results are
+  // bit-identical either way (per-query noise is ordinal-addressed, rows
+  // share no mutable state), so the choice is purely a scheduling one.
+  return batch_size > 0 && batch_size < util::pool_width() &&
+         intra_query_parallel() && array_->rows() >= batch_size;
+}
+
 std::vector<SearchResult> FerexEngine::search_batch(
     std::span<const std::vector<int>> queries) {
   if (!array_) {
     throw std::logic_error(
         "FerexEngine::search_batch: configure() + store() first");
   }
+  // Validate before consuming ordinals, so a rejected batch leaves the
+  // noise-stream sequence exactly where it was.
+  for (const auto& q : queries) check_query(q);
+  const std::uint64_t base = query_serial_;
+  query_serial_ += queries.size();
+  return search_batch_validated(queries, base);
+}
+
+std::vector<SearchResult> FerexEngine::search_batch_at(
+    std::span<const std::vector<int>> queries,
+    std::uint64_t base_ordinal) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::search_batch_at: configure() + store() first");
+  }
+  for (const auto& q : queries) check_query(q);
+  return search_batch_validated(queries, base_ordinal);
+}
+
+std::vector<SearchResult> FerexEngine::search_batch_validated(
+    std::span<const std::vector<int>> queries,
+    std::uint64_t base_ordinal) const {
   std::vector<SearchResult> results(queries.size());
   if (queries.empty()) return results;
 
-  // Validate and codec-expand the whole batch up front: one pass over the
-  // queries, after which the workers run over plain spans with no
-  // allocation on the hot path.
-  for (const auto& q : queries) check_query(q);
+  // Codec-expand the whole batch up front: one pass over the queries,
+  // after which the workers run over plain spans with no allocation on
+  // the hot path.
   std::vector<std::vector<int>> expanded;
   if (codec_) {
     expanded.reserve(queries.size());
     for (const auto& q : queries) expanded.push_back(codec_->expand(q));
   }
 
-  const std::uint64_t base = query_serial_;
-  query_serial_ += queries.size();
-  // When the batch alone cannot saturate the pool, keep the queries
-  // serial and fan each query's rows instead — but only when the row fan
-  // is at least as wide as the query fan it replaces. Results are
-  // bit-identical either way (per-query noise is ordinal-addressed, rows
-  // share no mutable state), so the choice is purely a scheduling one.
-  if (queries.size() < util::pool_width() && intra_query_parallel() &&
-      array_->rows() >= queries.size()) {
+  if (inner_fan_for_batch(queries.size())) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      util::Rng rng = query_rng(base + i);
+      util::Rng rng = query_rng(base_ordinal + i);
       results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng,
                                    /*parallel_rows=*/true);
     }
     return results;
   }
   util::parallel_for(queries.size(), [&](std::size_t i) {
-    util::Rng rng = query_rng(base + i);
+    util::Rng rng = query_rng(base_ordinal + i);
     results[i] = search_expanded(codec_ ? expanded[i] : queries[i], &rng,
                                  /*parallel_rows=*/false);
   });
@@ -228,25 +329,23 @@ std::vector<std::size_t> FerexEngine::search_k(std::span<const int> query,
   if (!array_) {
     throw std::logic_error("FerexEngine::search_k: configure() + store() first");
   }
+  // k joins the query in the validated-before-any-ordinal set (the seed
+  // threw from decide_k only after consuming the ordinal).
+  if (k == 0 || k > database_.size()) {
+    throw std::invalid_argument("FerexEngine::search_k: bad k");
+  }
   check_query(query);
   return search_k_validated(query, k, query_serial_++);
 }
 
 std::vector<std::size_t> FerexEngine::search_k_validated(
     std::span<const int> query, std::size_t k, std::uint64_t ordinal) const {
-  std::vector<int> expanded;
-  if (codec_) {
-    expanded = codec_->expand(query);
-    query = expanded;
-  }
-  util::Rng rng = query_rng(ordinal);
-  if (options_.fidelity == SearchFidelity::kCircuit) {
-    const auto currents = array_->search(query, intra_query_parallel());
-    return lta_.decide_k(currents, array_->unit_current_a(), k, &rng);
-  }
-  const auto distances = array_->nominal_distances(query);
-  const std::vector<double> currents(distances.begin(), distances.end());
-  return lta_.decide_k(currents, 1.0, k, nullptr);
+  const auto hits =
+      search_hits_validated(query, k, ordinal, intra_query_parallel());
+  std::vector<std::size_t> winners;
+  winners.reserve(hits.size());
+  for (const auto& hit : hits) winners.push_back(hit.nearest);
+  return winners;
 }
 
 std::vector<std::size_t> FerexEngine::search_k_at(std::span<const int> query,
@@ -255,6 +354,9 @@ std::vector<std::size_t> FerexEngine::search_k_at(std::span<const int> query,
   if (!array_) {
     throw std::logic_error(
         "FerexEngine::search_k_at: configure() + store() first");
+  }
+  if (k == 0 || k > database_.size()) {
+    throw std::invalid_argument("FerexEngine::search_k_at: bad k");
   }
   check_query(query);
   return search_k_validated(query, k, ordinal);
@@ -306,6 +408,30 @@ int FerexEngine::software_distance(std::span<const int> query,
   return total;
 }
 
+int FerexEngine::nominal_distance(std::span<const int> query,
+                                  std::size_t row) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::nominal_distance: configure() + store() first");
+  }
+  if (row >= database_.size()) {
+    throw std::out_of_range("FerexEngine::nominal_distance: row");
+  }
+  check_query(query);
+  if (codec_) {
+    return array_->nominal_distance(codec_->expand(query), row);
+  }
+  return array_->nominal_distance(query, row);
+}
+
+void FerexEngine::validate_query(std::span<const int> query) const {
+  if (!array_) {
+    throw std::logic_error(
+        "FerexEngine::validate_query: configure() + store() first");
+  }
+  check_query(query);
+}
+
 circuit::SearchCost FerexEngine::search_cost() const {
   if (!encoding_ || database_.empty()) {
     throw std::logic_error("FerexEngine::search_cost: nothing stored");
@@ -322,30 +448,33 @@ circuit::SearchCost FerexEngine::search_cost() const {
   return model.search_op(spec);
 }
 
-circuit::WriteCost FerexEngine::program_cost() const {
-  if (!array_) {
-    throw std::logic_error("FerexEngine::program_cost: nothing stored");
-  }
+circuit::WriteCost FerexEngine::row_write_cost(std::size_t row) const {
   circuit::WriteDriverParams params;
   params.device.vth_low_v = options_.circuit.fet.vth_min_v;
   params.device.vth_high_v = options_.circuit.fet.vth_max_v;
   params.vth_tolerance_v = options_.circuit.program_tolerance_v;
   const circuit::WriteDriver driver(params);
 
-  circuit::WriteCost total;
   std::vector<double> targets;
   targets.reserve(array_->dims() * array_->fefets_per_cell());
-  for (std::size_t r = 0; r < array_->rows(); ++r) {
-    targets.clear();
-    for (std::size_t d = 0; d < array_->dims(); ++d) {
-      const auto value = static_cast<std::size_t>(array_->stored_value(r, d));
-      for (std::size_t i = 0; i < array_->fefets_per_cell(); ++i) {
-        const auto level =
-            static_cast<std::size_t>(encoding_->store_level(value, i));
-        targets.push_back(array_->ladder().vth(level));
-      }
+  for (std::size_t d = 0; d < array_->dims(); ++d) {
+    const auto value = static_cast<std::size_t>(array_->stored_value(row, d));
+    for (std::size_t i = 0; i < array_->fefets_per_cell(); ++i) {
+      const auto level =
+          static_cast<std::size_t>(encoding_->store_level(value, i));
+      targets.push_back(array_->ladder().vth(level));
     }
-    const auto row_cost = driver.program_row(targets);
+  }
+  return driver.program_row(targets);
+}
+
+circuit::WriteCost FerexEngine::program_cost() const {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::program_cost: nothing stored");
+  }
+  circuit::WriteCost total;
+  for (std::size_t r = 0; r < array_->rows(); ++r) {
+    const auto row_cost = row_write_cost(r);
     total.pulses += row_cost.pulses;
     total.energy_j += row_cost.energy_j;
     total.latency_s += row_cost.latency_s;

@@ -100,7 +100,21 @@ class FerexEngine {
   /// [0, 2^bits)). Replaces any previous contents and programs the array.
   void store(std::vector<std::vector<int>> database);
 
-  /// Nearest-neighbor search. Requires configure() and store().
+  /// Streaming insert: appends one vector to the live array (program_row
+  /// on a grown array — no re-store of existing rows) and returns the
+  /// write cost of programming the new row. Requires configure(); the
+  /// first insert on an empty engine establishes the dimensionality.
+  /// Searches after N inserts are bit-identical to a fresh store() of the
+  /// concatenated database (the new row's device variation continues the
+  /// engine's variation stream exactly where a larger store() would have
+  /// drawn it). A later configure() re-encodes inserted rows like any
+  /// stored row. Throws without mutating on a wrong-length or
+  /// out-of-alphabet vector.
+  circuit::WriteCost insert(std::span<const int> vector);
+
+  /// Nearest-neighbor search. Requires configure() and store(). A thin
+  /// shim over the const ordinal-addressed core (search_hits_at) that
+  /// consumes one ordinal; mutates only query_serial_.
   SearchResult search(std::span<const int> query);
 
   /// Batched nearest-neighbor search. Equivalent to calling search() once
@@ -127,13 +141,32 @@ class FerexEngine {
                          std::optional<bool> parallel_rows =
                              std::nullopt) const;
 
+  /// The k-NN serving core: the top-k rows nearest first, each with its
+  /// sensed current, margin to the best remaining row, and nominal
+  /// distance — what SearchResult carries for k = 1, for every rank.
+  /// Const and ordinal-addressed (see search_at). k = 1 is bit-identical
+  /// to search_at; the winner sequence for any k is bit-identical to
+  /// search_k_at (both are shims over this core).
+  std::vector<SearchResult> search_hits_at(
+      std::span<const int> query, std::size_t k, std::uint64_t ordinal,
+      std::optional<bool> parallel_rows = std::nullopt) const;
+
+  /// Const ordinal-addressed core of search_batch: queries take ordinals
+  /// base_ordinal, base_ordinal + 1, ... Does not consume the engine's
+  /// ordinal counter; results are bit-identical to search_at per query.
+  std::vector<SearchResult> search_batch_at(
+      std::span<const std::vector<int>> queries,
+      std::uint64_t base_ordinal) const;
+
   /// True when the intra-query heuristic (intra_query_min_devices vs the
   /// array's device count and the pool width) says a single query's rows
   /// would fan across the worker pool. Exposed so multi-engine layers can
   /// schedule around it.
   bool intra_query_parallel() const noexcept;
 
-  /// k-nearest rows, nearest first (iterative LTA with masking).
+  /// k-nearest rows, nearest first (iterative LTA with masking). A shim
+  /// over search_hits_at; requires 1 <= k <= stored_count() (validated,
+  /// like the query, before an ordinal is consumed).
   std::vector<std::size_t> search_k(std::span<const int> query, std::size_t k);
 
   /// Ordinal-addressed variant of search_k (see search_at).
@@ -157,6 +190,25 @@ class FerexEngine {
   /// Exact software distance between the query and a stored row under the
   /// configured metric (the verification reference).
   int software_distance(std::span<const int> query, std::size_t row) const;
+
+  /// Encoding-level distance between the query and a stored row — the
+  /// value SearchResult::nominal_distance reports for that row (codec
+  /// expansion applied; equals software_distance for standard metrics).
+  int nominal_distance(std::span<const int> query, std::size_t row) const;
+
+  /// Validates a query exactly as every search entry point does: throws
+  /// std::invalid_argument on wrong length, std::out_of_range on
+  /// out-of-alphabet values, std::logic_error before configure()+store().
+  /// Exposed so serving layers can reject requests before consuming any
+  /// query ordinal.
+  void validate_query(std::span<const int> query) const;
+
+  /// True when a batch of `batch_size` queries is better served by
+  /// running queries serially and fanning each query's rows (the batch
+  /// alone cannot saturate the pool and the row fan is at least as
+  /// wide) — the scheduling rule search_batch applies. Never affects
+  /// results.
+  bool inner_fan_for_batch(std::size_t batch_size) const noexcept;
 
   /// Energy/delay of one search op on the current geometry (Fig. 6 model).
   circuit::SearchCost search_cost() const;
@@ -192,18 +244,32 @@ class FerexEngine {
   /// dimensionality (pre-codec length), std::out_of_range unless every
   /// element is inside the configured alphabet.
   void check_query(std::span<const int> query) const;
-  /// Search over an already codec-expanded query. `parallel_rows` fans
-  /// the crossbar rows across the worker pool (bit-identical results).
+  /// Top-k over an already codec-expanded query — the one kernel every
+  /// search entry point funnels through. `parallel_rows` fans the
+  /// crossbar rows across the worker pool (bit-identical results).
+  std::vector<SearchResult> search_hits_expanded(std::span<const int> expanded,
+                                                 std::size_t k, util::Rng* rng,
+                                                 bool parallel_rows) const;
+  /// Search over an already codec-expanded query (k = 1 shim).
   SearchResult search_expanded(std::span<const int> expanded, util::Rng* rng,
                                bool parallel_rows) const;
   /// Post-validation cores: expand if needed, derive the ordinal's rng,
   /// run. Callers must have validated via check_query.
+  std::vector<SearchResult> search_hits_validated(std::span<const int> query,
+                                                  std::size_t k,
+                                                  std::uint64_t ordinal,
+                                                  bool parallel_rows) const;
   SearchResult search_validated(std::span<const int> query,
                                 std::uint64_t ordinal,
                                 bool parallel_rows) const;
   std::vector<std::size_t> search_k_validated(std::span<const int> query,
                                               std::size_t k,
                                               std::uint64_t ordinal) const;
+  std::vector<SearchResult> search_batch_validated(
+      std::span<const std::vector<int>> queries,
+      std::uint64_t base_ordinal) const;
+  /// Erase + program-and-verify cost of one already-programmed row.
+  circuit::WriteCost row_write_cost(std::size_t row) const;
 
   FerexOptions options_;
   util::Rng rng_;

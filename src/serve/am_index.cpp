@@ -1,0 +1,61 @@
+#include "serve/am_index.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ferex::serve {
+
+void AmIndex::validate_request(const SearchRequest& request) const {
+  if (request.k == 0 || request.k > stored_count()) {
+    throw std::invalid_argument("AmIndex: request.k out of range");
+  }
+  validate_backend_query(request.query);
+}
+
+SearchResponse AmIndex::search(const SearchRequest& request) {
+  // Validate before consuming an ordinal, so a rejected request leaves
+  // the noise-stream sequence exactly where it was.
+  validate_request(request);
+  const std::uint64_t ordinal =
+      request.ordinal ? *request.ordinal : query_serial_++;
+  return search_core(request.query, request.k, ordinal,
+                     /*in_query_pool=*/false);
+}
+
+SearchResponse AmIndex::search_at(const SearchRequest& request,
+                                  std::uint64_t ordinal) const {
+  validate_request(request);
+  return search_core(request.query, request.k, ordinal,
+                     /*in_query_pool=*/false);
+}
+
+std::vector<SearchResponse> AmIndex::search_batch(
+    std::span<const SearchRequest> requests) {
+  std::vector<SearchResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  // Whole-batch validation up front: a rejected batch consumes nothing.
+  for (const auto& request : requests) validate_request(request);
+  std::vector<std::uint64_t> ordinals(requests.size());
+  std::uint64_t next = query_serial_;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ordinals[i] = requests[i].ordinal ? *requests[i].ordinal : next++;
+  }
+  query_serial_ = next;
+  if (inner_fan_for_batch(requests.size())) {
+    // The batch alone cannot saturate the pool: keep requests serial and
+    // let each one fan its rows/banks (bit-identical either way).
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = search_core(requests[i].query, requests[i].k,
+                                 ordinals[i], /*in_query_pool=*/false);
+    }
+    return responses;
+  }
+  util::parallel_for(requests.size(), [&](std::size_t i) {
+    responses[i] = search_core(requests[i].query, requests[i].k, ordinals[i],
+                               /*in_query_pool=*/true);
+  });
+  return responses;
+}
+
+}  // namespace ferex::serve

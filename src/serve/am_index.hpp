@@ -1,0 +1,149 @@
+// The AmIndex serving API — one front door for every FeReX backend.
+//
+// The paper's headline is a single engine serving many metrics and
+// workloads on the same hardware, but the lower layers expose two front
+// doors with different result types: core::FerexEngine (one macro,
+// SearchResult) and arch::BankedAm (multi-macro, BankedSearchResult).
+// AmIndex unifies them behind a request/response surface:
+//
+//   serve::BankedIndex index(options);          // or EngineIndex
+//   index.configure(csp::DistanceMetric::kHamming, 2);
+//   index.store(database);
+//   auto r = index.search({.query = q, .k = 3});
+//   for (const auto& hit : r.hits)              // nearest first
+//     use(hit.global_row, hit.bank, hit.sensed_current_a,
+//         hit.margin_a, hit.nominal_distance);
+//   index.insert(vec);                          // streaming write path
+//
+// Guarantees:
+//   * Hits are bit-identical to the legacy entry points: k = 1 equals
+//     FerexEngine::search / BankedAm::search, the k-NN winner sequence
+//     equals search_k, at both fidelities, single-shot and batched (the
+//     legacy methods are now thin shims over the same const cores).
+//   * Every request consumes exactly one ordinal from the index's query
+//     serial — the per-query comparator-noise stream id — unless the
+//     request pins one explicitly or the const search_at entry point is
+//     used, so responses never depend on thread interleaving.
+//   * insert() appends to the live array(s) (program_row on a grown
+//     bank, new banks on demand) and charges circuit::WriteCost; after
+//     N inserts, searches are bit-identical to a fresh store() of the
+//     concatenated database.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuit/write.hpp"
+#include "csp/distance_matrix.hpp"
+
+namespace ferex::serve {
+
+/// One nearest-neighbor request.
+struct SearchRequest {
+  std::vector<int> query;
+  std::size_t k = 1;  ///< how many hits to return (1 <= k <= stored rows)
+  /// Pins the comparator-noise stream for this request instead of
+  /// consuming the index's next ordinal. Replay a recorded request with
+  /// its ordinal and the response is bit-identical.
+  std::optional<std::uint64_t> ordinal;
+};
+
+/// One scored row of a response.
+struct Hit {
+  std::size_t global_row = 0;     ///< row index across all banks
+  std::size_t bank = 0;           ///< bank holding the row (0 on a macro)
+  double sensed_current_a = 0.0;  ///< sensed current (distance domain)
+  double margin_a = 0.0;          ///< sensed gap to the best remaining row
+  int nominal_distance = 0;       ///< encoding-level distance to the query
+};
+
+/// Hits nearest first; never empty (k >= 1 is validated up front).
+struct SearchResponse {
+  std::vector<Hit> hits;
+  const Hit& best() const noexcept { return hits.front(); }
+};
+
+/// Receipt for one streaming insert.
+struct InsertReceipt {
+  std::size_t global_row = 0;  ///< where the vector landed
+  std::size_t bank = 0;        ///< bank that absorbed it
+  circuit::WriteCost cost{};   ///< write cost of programming the row
+};
+
+/// Polymorphic serving interface over interchangeable FeReX backends.
+///
+/// The non-virtual entry points own request validation (before any
+/// ordinal is consumed), ordinal accounting, and batch scheduling;
+/// backends supply the const search core and the write path. The index
+/// keeps its own query serial: drive a fresh index with the same request
+/// sequence as a fresh legacy backend and the ordinals — hence the
+/// responses — line up one to one.
+class AmIndex {
+ public:
+  virtual ~AmIndex() = default;
+
+  /// Configures (or re-configures) the distance function on the backend;
+  /// stored and inserted rows are re-encoded.
+  virtual void configure(csp::DistanceMetric metric, int bits) = 0;
+
+  /// Stores a database, replacing any previous contents.
+  virtual void store(const std::vector<std::vector<int>>& database) = 0;
+
+  /// Streaming insert (see the file comment for the guarantees).
+  virtual InsertReceipt insert(std::span<const int> vector) = 0;
+
+  /// Serves one request, consuming one ordinal (unless request.ordinal
+  /// pins the noise stream). Throws std::invalid_argument /
+  /// std::out_of_range on malformed requests before any ordinal moves.
+  SearchResponse search(const SearchRequest& request);
+
+  /// Serves a batch; element i's response is bit-identical to serving
+  /// request i alone in order (per-request noise is ordinal-addressed),
+  /// but requests fan across the persistent worker pool — or, when the
+  /// batch alone cannot saturate it, each request fans its rows/banks.
+  /// Consumes one ordinal per request without a pinned one.
+  std::vector<SearchResponse> search_batch(
+      std::span<const SearchRequest> requests);
+
+  /// Const ordinal-addressed core (the engine's search_at pattern): serves
+  /// the request at an explicit ordinal, consuming nothing — the entry
+  /// point for callers scheduling their own concurrency and for driving
+  /// the index from const contexts. Any request.ordinal is ignored in
+  /// favor of the argument.
+  SearchResponse search_at(const SearchRequest& request,
+                           std::uint64_t ordinal) const;
+
+  /// Ordinal the next unpinned search() will consume.
+  std::uint64_t query_serial() const noexcept { return query_serial_; }
+
+  virtual std::size_t stored_count() const noexcept = 0;
+  virtual std::size_t dims() const noexcept = 0;
+  virtual std::size_t bank_count() const noexcept = 0;
+
+ protected:
+  /// Serves one validated request. `in_query_pool` marks calls issued
+  /// from inside a parallel_for over requests: backends must then keep
+  /// their inner loops serial so pools never nest. Never affects results.
+  virtual SearchResponse search_core(std::span<const int> query,
+                                     std::size_t k, std::uint64_t ordinal,
+                                     bool in_query_pool) const = 0;
+
+  /// Backend query validation (length/alphabet/configured+stored), same
+  /// exceptions as the legacy entry points.
+  virtual void validate_backend_query(std::span<const int> query) const = 0;
+
+  /// Backend scheduling rule: true when a batch of this size is better
+  /// served serially with each request fanning its own rows/banks.
+  virtual bool inner_fan_for_batch(std::size_t batch_size) const = 0;
+
+ private:
+  /// Full request validation before any ordinal is consumed.
+  void validate_request(const SearchRequest& request) const;
+
+  std::uint64_t query_serial_ = 0;
+};
+
+}  // namespace ferex::serve

@@ -1,0 +1,76 @@
+#include "serve/banked_index.hpp"
+
+namespace ferex::serve {
+
+namespace {
+
+Hit to_hit(const arch::BankedSearchResult& r) {
+  Hit hit;
+  hit.global_row = r.nearest;
+  hit.bank = r.bank;
+  hit.sensed_current_a = r.winner_current_a;
+  hit.margin_a = r.margin_a;
+  hit.nominal_distance = r.nominal_distance;
+  return hit;
+}
+
+}  // namespace
+
+BankedIndex::BankedIndex(arch::BankedOptions options)
+    : banked_(options) {}
+
+void BankedIndex::configure(csp::DistanceMetric metric, int bits) {
+  banked_.configure(metric, bits);
+}
+
+void BankedIndex::store(const std::vector<std::vector<int>>& database) {
+  banked_.store(database);
+}
+
+InsertReceipt BankedIndex::insert(std::span<const int> vector) {
+  const auto banked_receipt = banked_.insert(vector);
+  InsertReceipt receipt;
+  receipt.global_row = banked_receipt.global_row;
+  receipt.bank = banked_receipt.bank;
+  receipt.cost = banked_receipt.cost;
+  return receipt;
+}
+
+std::size_t BankedIndex::stored_count() const noexcept {
+  return banked_.stored_count();
+}
+
+std::size_t BankedIndex::dims() const noexcept { return banked_.dims(); }
+
+std::size_t BankedIndex::bank_count() const noexcept {
+  return banked_.bank_count();
+}
+
+SearchResponse BankedIndex::search_core(std::span<const int> query,
+                                        std::size_t k, std::uint64_t ordinal,
+                                        bool in_query_pool) const {
+  // Inside a request fan-out the bank loop must stay serial so pools
+  // never nest; otherwise the banked work-size heuristic applies.
+  const std::optional<bool> parallel_banks =
+      in_query_pool ? std::optional<bool>(false) : std::nullopt;
+  SearchResponse response;
+  if (k == 1) {
+    response.hits.push_back(
+        to_hit(banked_.search_at(query, ordinal, parallel_banks)));
+    return response;
+  }
+  const auto hits = banked_.search_k_hits(query, k, parallel_banks);
+  response.hits.reserve(hits.size());
+  for (const auto& hit : hits) response.hits.push_back(to_hit(hit));
+  return response;
+}
+
+void BankedIndex::validate_backend_query(std::span<const int> query) const {
+  banked_.validate_query(query);
+}
+
+bool BankedIndex::inner_fan_for_batch(std::size_t batch_size) const {
+  return banked_.inner_fan_for_batch(batch_size);
+}
+
+}  // namespace ferex::serve

@@ -1,0 +1,65 @@
+#include "serve/engine_index.hpp"
+
+namespace ferex::serve {
+
+EngineIndex::EngineIndex(core::FerexOptions options)
+    : engine_(options) {}
+
+void EngineIndex::configure(csp::DistanceMetric metric, int bits) {
+  engine_.configure(metric, bits);
+}
+
+void EngineIndex::configure_composite(csp::DistanceMetric metric, int bits) {
+  engine_.configure_composite(metric, bits);
+}
+
+void EngineIndex::store(const std::vector<std::vector<int>>& database) {
+  engine_.store(database);
+}
+
+InsertReceipt EngineIndex::insert(std::span<const int> vector) {
+  InsertReceipt receipt;
+  receipt.cost = engine_.insert(vector);
+  receipt.bank = 0;
+  receipt.global_row = engine_.stored_count() - 1;
+  return receipt;
+}
+
+std::size_t EngineIndex::stored_count() const noexcept {
+  return engine_.stored_count();
+}
+
+std::size_t EngineIndex::dims() const noexcept { return engine_.dims(); }
+
+SearchResponse EngineIndex::search_core(std::span<const int> query,
+                                        std::size_t k, std::uint64_t ordinal,
+                                        bool in_query_pool) const {
+  // Inside a request fan-out the engine's row loop must stay serial so
+  // pools never nest; otherwise its own work-size heuristic applies.
+  const std::optional<bool> parallel_rows =
+      in_query_pool ? std::optional<bool>(false) : std::nullopt;
+  const auto results = engine_.search_hits_at(query, k, ordinal,
+                                              parallel_rows);
+  SearchResponse response;
+  response.hits.reserve(results.size());
+  for (const auto& r : results) {
+    Hit hit;
+    hit.global_row = r.nearest;
+    hit.bank = 0;
+    hit.sensed_current_a = r.winner_current_a;
+    hit.margin_a = r.margin_a;
+    hit.nominal_distance = r.nominal_distance;
+    response.hits.push_back(hit);
+  }
+  return response;
+}
+
+void EngineIndex::validate_backend_query(std::span<const int> query) const {
+  engine_.validate_query(query);
+}
+
+bool EngineIndex::inner_fan_for_batch(std::size_t batch_size) const {
+  return engine_.inner_fan_for_batch(batch_size);
+}
+
+}  // namespace ferex::serve

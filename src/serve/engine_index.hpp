@@ -1,0 +1,46 @@
+// AmIndex over a single FeReX macro (core::FerexEngine).
+//
+// The smallest serving deployment: one crossbar, bank 0 for every hit.
+// Unbounded streaming inserts grow the one array row by row — callers
+// that want the paper's bounded-macro geometry (and multi-bank fan-out)
+// serve through BankedIndex instead.
+#pragma once
+
+#include "core/ferex.hpp"
+#include "serve/am_index.hpp"
+
+namespace ferex::serve {
+
+class EngineIndex final : public AmIndex {
+ public:
+  explicit EngineIndex(core::FerexOptions options = {});
+
+  void configure(csp::DistanceMetric metric, int bits) override;
+  /// Composite (digit-decomposed) encodings — the scalable path for
+  /// separable metrics past the exact CSP's reach. Engine-only: the
+  /// banked layer configures per-bank monolithic encodings.
+  void configure_composite(csp::DistanceMetric metric, int bits);
+  void store(const std::vector<std::vector<int>>& database) override;
+  InsertReceipt insert(std::span<const int> vector) override;
+
+  std::size_t stored_count() const noexcept override;
+  std::size_t dims() const noexcept override;
+  std::size_t bank_count() const noexcept override { return 1; }
+
+  /// The wrapped engine, for cost models and encoding introspection the
+  /// serving surface does not abstract.
+  core::FerexEngine& engine() noexcept { return engine_; }
+  const core::FerexEngine& engine() const noexcept { return engine_; }
+
+ protected:
+  SearchResponse search_core(std::span<const int> query, std::size_t k,
+                             std::uint64_t ordinal,
+                             bool in_query_pool) const override;
+  void validate_backend_query(std::span<const int> query) const override;
+  bool inner_fan_for_batch(std::size_t batch_size) const override;
+
+ private:
+  core::FerexEngine engine_;
+};
+
+}  // namespace ferex::serve

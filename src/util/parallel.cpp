@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <system_error>
@@ -10,56 +12,185 @@
 
 namespace ferex::util {
 
-std::size_t pool_width() noexcept {
+namespace {
+
+std::size_t detect_pool_width() noexcept {
+  if (const char* env = std::getenv("FEREX_POOL_WIDTH")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 512) {
+      return static_cast<std::size_t>(v);
+    }
+  }
   const std::size_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+thread_local bool tls_pool_worker = false;
+
+/// One fork/join job: an atomic work index every participating thread
+/// (workers + the submitter) drains, plus an active-participant count the
+/// submitter waits on. Lives on the submitter's stack for its duration.
+struct Job {
+  Job(const std::function<void(std::size_t)>& f, std::size_t count)
+      : fn(&f), n(count) {}
+  const std::function<void(std::size_t)>* fn;
+  std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> active{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+};
+
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    // One top-level job at a time; a second caller runs inline rather
+    // than queueing (it makes progress either way, and results never
+    // depend on the schedule).
+    std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+    if (!submit.owns_lock()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::call_once(spawn_once_, [this] { spawn_workers(); });
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+
+    Job job(fn, n);
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      job.active.store(1, std::memory_order_relaxed);  // the submitter
+      job_ = &job;
+    }
+    job_cv_.notify_all();
+    // The submitter participates too. While draining it counts as a pool
+    // participant, so a nested parallel_for issued by one of its items
+    // takes the inline path up front instead of re-entering run() and
+    // try-locking a mutex this thread already owns (which would be UB).
+    tls_pool_worker = true;
+    drain(job);
+    tls_pool_worker = false;
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      job.active.fetch_sub(1, std::memory_order_acq_rel);
+      done_cv_.wait(lock, [&] {
+        return job.active.load(std::memory_order_acquire) == 0;
+      });
+      job_ = nullptr;  // workers re-check under job_mutex_, so the stack
+                       // Job cannot be touched after this point
+    }
+    if (job.first_error) std::rethrow_exception(job.first_error);
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void spawn_workers() {
+    const std::size_t width = pool_width();
+    if (width <= 1) return;
+    workers_.reserve(width - 1);
+    try {
+      for (std::size_t w = 1; w < width; ++w) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+    } catch (const std::system_error&) {
+      // Thread spawn failed (resource exhaustion): run with however many
+      // workers did start; zero means every call drains inline.
+    }
+  }
+
+  void worker_loop() {
+    tls_pool_worker = true;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(job_mutex_);
+        job_cv_.wait(lock, [&] {
+          return stop_ ||
+                 (job_ != nullptr &&
+                  job_->next.load(std::memory_order_relaxed) < job_->n);
+        });
+        if (stop_) return;
+        job = job_;
+        // Registered under the lock: the submitter cannot retire the job
+        // until this participant drains and deregisters.
+        job->active.fetch_add(1, std::memory_order_relaxed);
+      }
+      drain(*job);
+      {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  static void drain(Job& job) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.first_error) job.first_error = std::current_exception();
+        // Stop handing out work once something failed.
+        job.next.store(job.n, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;  ///< serializes top-level jobs
+  std::mutex job_mutex_;     ///< guards job_ / stop_ and both CVs
+  std::condition_variable job_cv_;   ///< workers wait here for a job
+  std::condition_variable done_cv_;  ///< submitter waits for fan-in
+  Job* job_ = nullptr;
+  bool stop_ = false;
+  std::once_flag spawn_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+std::size_t pool_width() noexcept {
+  static const std::size_t width = detect_pool_width();
+  return width;
 }
 
 std::size_t worker_count(std::size_t jobs) noexcept {
   return std::max<std::size_t>(1, std::min(pool_width(), jobs));
 }
 
+bool on_pool_worker() noexcept { return tls_pool_worker; }
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t workers = worker_count(n);
-  if (workers == 1) {
+  if (n == 1 || pool_width() == 1 || tls_pool_worker) {
+    // Single item, single-threaded host, or a nested call from inside a
+    // pool worker: run inline (nested fan-out would deadlock-prone-ly
+    // contend for the one pool; every call site is schedule-invariant).
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Stop handing out work once something failed.
-        next.store(n, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  try {
-    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
-  } catch (const std::system_error&) {
-    // Thread spawn failed (resource exhaustion). The calling thread and
-    // whatever workers did start still drain every item below; unwinding
-    // here would instead terminate on the joinable threads.
-  }
-  drain();
-  for (auto& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::instance().run(n, fn);
 }
 
 }  // namespace ferex::util

@@ -1,0 +1,405 @@
+// Tests for the AmIndex serving layer: the unified request/response API
+// must be bit-identical to the legacy FerexEngine / BankedAm entry
+// points across metric x fidelity x k x single/batched, drivable from
+// const contexts, and must validate requests before consuming ordinals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/banked_am.hpp"
+#include "core/ferex.hpp"
+#include "data/datasets.hpp"
+#include "serve/banked_index.hpp"
+#include "serve/engine_index.hpp"
+
+namespace ferex::serve {
+namespace {
+
+using csp::DistanceMetric;
+using core::SearchFidelity;
+
+/// Request builder (aggregate init with omitted trailing members trips
+/// -Wextra's missing-field-initializers under -Werror).
+SearchRequest req(std::vector<int> query, std::size_t k = 1) {
+  SearchRequest r;
+  r.query = std::move(query);
+  r.k = k;
+  return r;
+}
+
+SearchRequest req_at(std::vector<int> query, std::uint64_t ordinal) {
+  SearchRequest r;
+  r.query = std::move(query);
+  r.ordinal = ordinal;
+  return r;
+}
+
+void expect_hit_matches(const Hit& hit, const core::SearchResult& r) {
+  EXPECT_EQ(hit.global_row, r.nearest);
+  EXPECT_EQ(hit.bank, 0u);
+  EXPECT_EQ(hit.sensed_current_a, r.winner_current_a);  // bit-exact
+  EXPECT_EQ(hit.margin_a, r.margin_a);
+  EXPECT_EQ(hit.nominal_distance, r.nominal_distance);
+}
+
+void expect_hit_matches(const Hit& hit, const arch::BankedSearchResult& r) {
+  EXPECT_EQ(hit.global_row, r.nearest);
+  EXPECT_EQ(hit.bank, r.bank);
+  EXPECT_EQ(hit.sensed_current_a, r.winner_current_a);
+  EXPECT_EQ(hit.margin_a, r.margin_a);
+  EXPECT_EQ(hit.nominal_distance, r.nominal_distance);
+}
+
+class ServeParityT
+    : public ::testing::TestWithParam<std::tuple<DistanceMetric,
+                                                 SearchFidelity>> {};
+
+TEST_P(ServeParityT, EngineIndexSearchMatchesLegacyBitExactly) {
+  const auto [metric, fidelity] = GetParam();
+  core::FerexOptions opt;
+  opt.fidelity = fidelity;
+  const auto db = data::random_int_vectors(24, 8, 4, 21);
+  const auto queries = data::random_int_vectors(12, 8, 4, 22);
+
+  core::FerexEngine legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  EngineIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+
+  // The same request sequence consumes the same ordinals, so every hit
+  // is bit-identical to the legacy engine.
+  for (const auto& q : queries) {
+    const auto legacy_result = legacy.search(q);
+    const auto response = index.search(req(q));
+    ASSERT_EQ(response.hits.size(), 1u);
+    expect_hit_matches(response.best(), legacy_result);
+  }
+  EXPECT_EQ(index.query_serial(), queries.size());
+}
+
+TEST_P(ServeParityT, EngineIndexTopKMatchesSearchK) {
+  const auto [metric, fidelity] = GetParam();
+  core::FerexOptions opt;
+  opt.fidelity = fidelity;
+  const auto db = data::random_int_vectors(24, 8, 4, 23);
+  const auto queries = data::random_int_vectors(6, 8, 4, 24);
+
+  core::FerexEngine legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  EngineIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+
+  for (const auto& q : queries) {
+    const auto winners = legacy.search_k(q, 5);
+    const auto response = index.search(req(q, 5));
+    ASSERT_EQ(response.hits.size(), 5u);
+    for (std::size_t i = 0; i < winners.size(); ++i) {
+      EXPECT_EQ(response.hits[i].global_row, winners[i]);
+    }
+    // Hit detail is self-consistent: nominal distance of each hit
+    // matches the engine's reference for that row.
+    for (const auto& hit : response.hits) {
+      EXPECT_EQ(hit.nominal_distance,
+                index.engine().nominal_distance(q, hit.global_row));
+    }
+  }
+}
+
+TEST_P(ServeParityT, EngineIndexBatchMatchesLegacyBatch) {
+  const auto [metric, fidelity] = GetParam();
+  core::FerexOptions opt;
+  opt.fidelity = fidelity;
+  const auto db = data::random_int_vectors(24, 8, 4, 25);
+  const auto queries = data::random_int_vectors(9, 8, 4, 26);
+
+  core::FerexEngine legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  EngineIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+
+  const auto legacy_results = legacy.search_batch(queries);
+  std::vector<SearchRequest> requests;
+  for (const auto& q : queries) requests.push_back(req(q));
+  const auto responses = index.search_batch(requests);
+  ASSERT_EQ(responses.size(), legacy_results.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].hits.size(), 1u);
+    expect_hit_matches(responses[i].best(), legacy_results[i]);
+  }
+  EXPECT_EQ(index.query_serial(), queries.size());
+}
+
+TEST_P(ServeParityT, BankedIndexSearchMatchesLegacyBitExactly) {
+  const auto [metric, fidelity] = GetParam();
+  arch::BankedOptions opt;
+  opt.bank_rows = 7;
+  opt.engine.fidelity = fidelity;
+  const auto db = data::random_int_vectors(25, 8, 4, 27);
+  const auto queries = data::random_int_vectors(10, 8, 4, 28);
+
+  arch::BankedAm legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  BankedIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+  EXPECT_EQ(index.bank_count(), 4u);
+
+  for (const auto& q : queries) {
+    const auto legacy_result = legacy.search(q);
+    const auto response = index.search(req(q));
+    ASSERT_EQ(response.hits.size(), 1u);
+    expect_hit_matches(response.best(), legacy_result);
+  }
+}
+
+TEST_P(ServeParityT, BankedIndexTopKMatchesSearchK) {
+  const auto [metric, fidelity] = GetParam();
+  arch::BankedOptions opt;
+  opt.bank_rows = 6;
+  opt.engine.fidelity = fidelity;
+  const auto db = data::random_int_vectors(20, 8, 4, 29);
+  const auto queries = data::random_int_vectors(6, 8, 4, 30);
+
+  arch::BankedAm legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  BankedIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+
+  for (const auto& q : queries) {
+    const auto winners = legacy.search_k(q, 7);
+    const auto response = index.search(req(q, 7));
+    ASSERT_EQ(response.hits.size(), 7u);
+    for (std::size_t i = 0; i < winners.size(); ++i) {
+      EXPECT_EQ(response.hits[i].global_row, winners[i]);
+      // The bank coordinate points at the bank that owns the row.
+      EXPECT_EQ(response.hits[i].bank, winners[i] / opt.bank_rows);
+    }
+  }
+}
+
+TEST_P(ServeParityT, BankedIndexBatchMatchesLegacyBatch) {
+  const auto [metric, fidelity] = GetParam();
+  arch::BankedOptions opt;
+  opt.bank_rows = 9;
+  opt.engine.fidelity = fidelity;
+  const auto db = data::random_int_vectors(22, 8, 4, 31);
+  const auto queries = data::random_int_vectors(8, 8, 4, 32);
+
+  arch::BankedAm legacy(opt);
+  legacy.configure(metric, 2);
+  legacy.store(db);
+  BankedIndex index(opt);
+  index.configure(metric, 2);
+  index.store(db);
+
+  const auto legacy_results = legacy.search_batch(queries);
+  std::vector<SearchRequest> requests;
+  for (const auto& q : queries) requests.push_back(req(q));
+  const auto responses = index.search_batch(requests);
+  ASSERT_EQ(responses.size(), legacy_results.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].hits.size(), 1u);
+    expect_hit_matches(responses[i].best(), legacy_results[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndFidelities, ServeParityT,
+    ::testing::Combine(::testing::Values(DistanceMetric::kHamming,
+                                         DistanceMetric::kManhattan),
+                       ::testing::Values(SearchFidelity::kCircuit,
+                                         SearchFidelity::kNominal)));
+
+TEST(ServeT, ConstIndexServesOrdinalAddressedRequests) {
+  core::FerexOptions opt;
+  const auto db = data::random_int_vectors(16, 6, 4, 33);
+  const auto q = data::random_int_vectors(1, 6, 4, 34).front();
+
+  EngineIndex index(opt);
+  index.configure(DistanceMetric::kHamming, 2);
+  index.store(db);
+
+  // Driving through a const AmIndex& — the whole point of the const
+  // ordinal-addressed core.
+  const AmIndex& const_index = index;
+  const auto a = const_index.search_at(req(q, 3), 5);
+  const auto b = const_index.search_at(req(q, 3), 5);
+  ASSERT_EQ(a.hits.size(), 3u);
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].global_row, b.hits[i].global_row);
+    EXPECT_EQ(a.hits[i].sensed_current_a, b.hits[i].sensed_current_a);
+  }
+  // search_at consumes nothing.
+  EXPECT_EQ(index.query_serial(), 0u);
+
+  // A pinned request ordinal replays the same noise stream as the
+  // mutable path at that ordinal, and does not advance the serial.
+  const auto mutable_result = index.search(req(q));  // ordinal 0
+  const auto replay = index.search(req_at(q, 0));
+  EXPECT_EQ(replay.best().global_row, mutable_result.best().global_row);
+  EXPECT_EQ(replay.best().sensed_current_a,
+            mutable_result.best().sensed_current_a);
+  EXPECT_EQ(index.query_serial(), 1u);
+}
+
+TEST(ServeT, LegacyEngineShimAndServeCoreInterleave) {
+  // The legacy entry points are shims over the same const cores, so an
+  // engine and an index driven with the same ordinal schedule agree even
+  // when calls interleave search and search_k.
+  core::FerexOptions opt;
+  const auto db = data::random_int_vectors(16, 6, 4, 35);
+  const auto queries = data::random_int_vectors(6, 6, 4, 36);
+
+  core::FerexEngine legacy(opt);
+  legacy.configure(DistanceMetric::kHamming, 2);
+  legacy.store(db);
+  EngineIndex index(opt);
+  index.configure(DistanceMetric::kHamming, 2);
+  index.store(db);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i % 2 == 0) {
+      const auto r = legacy.search(queries[i]);
+      expect_hit_matches(index.search(req(queries[i])).best(), r);
+    } else {
+      const auto winners = legacy.search_k(queries[i], 4);
+      const auto response = index.search(req(queries[i], 4));
+      for (std::size_t j = 0; j < winners.size(); ++j) {
+        EXPECT_EQ(response.hits[j].global_row, winners[j]);
+      }
+    }
+  }
+}
+
+TEST(ServeT, PolymorphicBackendsShareOneSurface) {
+  const auto db = data::random_int_vectors(18, 6, 4, 37);
+  const auto q = data::random_int_vectors(1, 6, 4, 38).front();
+
+  arch::BankedOptions banked_opt;
+  banked_opt.bank_rows = 5;
+  std::vector<std::unique_ptr<AmIndex>> indexes;
+  indexes.push_back(std::make_unique<EngineIndex>());
+  indexes.push_back(std::make_unique<BankedIndex>(banked_opt));
+
+  for (auto& index : indexes) {
+    index->configure(DistanceMetric::kHamming, 2);
+    index->store(db);
+    const auto response = index->search(req(q, 3));
+    ASSERT_EQ(response.hits.size(), 3u);
+    // Nearest-first ordering by nominal distance (no ties broken out of
+    // order at either backend for this data).
+    EXPECT_LE(response.hits[0].nominal_distance,
+              response.hits[1].nominal_distance);
+    EXPECT_LE(response.hits[1].nominal_distance,
+              response.hits[2].nominal_distance);
+    const auto receipt = index->insert(db.front());
+    EXPECT_EQ(receipt.global_row, db.size());
+    EXPECT_GT(receipt.cost.pulses, 0u);
+    EXPECT_EQ(index->stored_count(), db.size() + 1);
+    // The inserted duplicate of row 0 is immediately searchable.
+    std::vector<int> exact(db.front());
+    const auto after = index->search(req(exact));
+    EXPECT_EQ(after.best().nominal_distance, 0);
+  }
+}
+
+TEST(ServeT, BankedMarginIsGapBetweenTwoBestBankWinners) {
+  arch::BankedOptions opt;
+  opt.bank_rows = 5;
+  // Deterministic settings so the margin arithmetic is exact.
+  opt.engine.circuit.variation.enabled = false;
+  opt.engine.lta.offset_sigma_rel = 0.0;
+  const auto db = data::random_int_vectors(15, 6, 4, 39);
+  const auto q = data::random_int_vectors(1, 6, 4, 40).front();
+
+  BankedIndex index(opt);
+  index.configure(DistanceMetric::kHamming, 2);
+  index.store(db);
+
+  const auto response = index.search_at(req(q), 0);
+  // Reconstruct the per-bank winners through the legacy const core.
+  std::vector<double> winner_currents;
+  for (std::size_t start = 0; start < db.size(); start += opt.bank_rows) {
+    core::FerexOptions engine_opt = opt.engine;
+    engine_opt.seed = opt.engine.seed + 0x9e37 * (start + 1);
+    engine_opt.intra_query_min_devices = 0;
+    core::FerexEngine bank(engine_opt);
+    bank.configure(DistanceMetric::kHamming, 2);
+    bank.store({db.begin() + start,
+                db.begin() + std::min(start + opt.bank_rows, db.size())});
+    winner_currents.push_back(bank.search_at(q, 0).winner_current_a);
+  }
+  std::sort(winner_currents.begin(), winner_currents.end());
+  EXPECT_EQ(response.best().sensed_current_a, winner_currents[0]);
+  EXPECT_EQ(response.best().margin_a,
+            winner_currents[1] - winner_currents[0]);
+}
+
+TEST(ServeT, RejectsMalformedRequestsBeforeConsumingOrdinals) {
+  const auto db = data::random_int_vectors(10, 6, 4, 41);
+  EngineIndex index;
+  index.configure(DistanceMetric::kHamming, 2);
+  index.store(db);
+
+  std::vector<int> good(6, 1);
+  std::vector<int> short_q(5, 1);
+  std::vector<int> bad_value(6, 1);
+  bad_value[3] = 99;
+
+  EXPECT_THROW(index.search(req(short_q)), std::invalid_argument);
+  EXPECT_THROW(index.search(req(bad_value)), std::out_of_range);
+  EXPECT_THROW(index.search(req(good, 0)), std::invalid_argument);
+  EXPECT_THROW(index.search(req(good, 11)), std::invalid_argument);
+  std::vector<SearchRequest> mixed;
+  mixed.push_back(req(good));
+  mixed.push_back(req(bad_value));
+  EXPECT_THROW(index.search_batch(mixed), std::out_of_range);
+  // None of the rejected requests consumed an ordinal...
+  EXPECT_EQ(index.query_serial(), 0u);
+  // ...so the next accepted search matches a fresh index's first one.
+  EngineIndex fresh;
+  fresh.configure(DistanceMetric::kHamming, 2);
+  fresh.store(db);
+  EXPECT_EQ(index.search(req(good)).best().sensed_current_a,
+            fresh.search(req(good)).best().sensed_current_a);
+}
+
+TEST(ServeT, EmptyBatchIsANoOp) {
+  EngineIndex index;
+  index.configure(DistanceMetric::kHamming, 2);
+  index.store(data::random_int_vectors(4, 4, 4, 42));
+  EXPECT_TRUE(index.search_batch({}).empty());
+  EXPECT_EQ(index.query_serial(), 0u);
+}
+
+TEST(ServeT, CompositeCodecServesThroughTheSameSurface) {
+  core::FerexOptions opt;
+  const auto db = data::random_int_vectors(12, 5, 16, 43);
+  const auto queries = data::random_int_vectors(5, 5, 16, 44);
+
+  core::FerexEngine legacy(opt);
+  legacy.configure_composite(DistanceMetric::kHamming, 4);
+  legacy.store(db);
+  EngineIndex index(opt);
+  index.configure_composite(DistanceMetric::kHamming, 4);
+  index.store(db);
+
+  for (const auto& q : queries) {
+    expect_hit_matches(index.search(req(q)).best(), legacy.search(q));
+  }
+}
+
+}  // namespace
+}  // namespace ferex::serve

@@ -1,0 +1,195 @@
+// Bench regression gate: diffs a fresh `--json` document from
+// bench_search_hotpath / bench_batch against a committed BENCH_*.json
+// snapshot and fails when any shared label's q/s regressed past the
+// threshold.
+//
+// Usage:
+//   bench_compare <baseline.json> <fresh.json>
+//                 [--max-regression <frac>]       (default 0.25)
+//                 [--require-same-concurrency]
+//
+// Labels are matched by name; labels present in only one document are
+// reported but never gate (benches grow modes over time). A fresh qps
+// below (1 - frac) x baseline qps is a regression -> exit 1.
+//
+// --require-same-concurrency downgrades the gate to a note (exit 0)
+// when the two documents record different hardware_concurrency values:
+// q/s measured on differently shaped hosts is not comparable, and CI
+// runners rarely match the machine that committed the snapshot.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string key;  ///< "label rowsxdims" — labels repeat per geometry
+  double qps = 0.0;
+};
+
+struct BenchDoc {
+  unsigned hardware_concurrency = 0;
+  std::vector<Entry> results;
+};
+
+/// Minimal parser for the bench_json.hpp schema (this repo writes it; a
+/// full JSON library would be overkill for two known keys).
+bool parse_doc(const std::string& path, BenchDoc& doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto find_number_after = [&](std::size_t pos, const char* key,
+                                     double& out) {
+    const std::size_t at = text.find(key, pos);
+    if (at == std::string::npos) return std::string::npos;
+    const std::size_t colon = text.find(':', at);
+    if (colon == std::string::npos) return std::string::npos;
+    out = std::strtod(text.c_str() + colon + 1, nullptr);
+    return at;
+  };
+
+  double hw = 0.0;
+  if (find_number_after(0, "\"hardware_concurrency\"", hw) ==
+      std::string::npos) {
+    std::fprintf(stderr, "bench_compare: %s: no hardware_concurrency\n",
+                 path.c_str());
+    return false;
+  }
+  doc.hardware_concurrency = static_cast<unsigned>(hw);
+
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t label_at = text.find("\"label\"", pos);
+    if (label_at == std::string::npos) break;
+    const std::size_t open = text.find('"', text.find(':', label_at));
+    const std::size_t close = text.find('"', open + 1);
+    if (open == std::string::npos || close == std::string::npos) break;
+    const std::string label = text.substr(open + 1, close - open - 1);
+    // The writer emits geometry then qps after every label, in order.
+    // Bound the field search at the next record's label so a truncated
+    // or hand-edited record fails loudly instead of silently borrowing
+    // the next record's numbers.
+    const std::size_t record_end = text.find("\"label\"", close);
+    double rows = 0.0, dims = 0.0, qps = 0.0;
+    const std::size_t rows_at = find_number_after(close, "\"rows\"", rows);
+    const std::size_t dims_at = find_number_after(close, "\"dims\"", dims);
+    const std::size_t qps_at = find_number_after(close, "\"qps\"", qps);
+    if (rows_at == std::string::npos || rows_at >= record_end ||
+        dims_at == std::string::npos || dims_at >= record_end ||
+        qps_at == std::string::npos || qps_at >= record_end) {
+      std::fprintf(stderr,
+                   "bench_compare: %s: label %s missing geometry or qps\n",
+                   path.c_str(), label.c_str());
+      return false;
+    }
+    Entry entry;
+    entry.key = label + " " + std::to_string(static_cast<long>(rows)) + "x" +
+                std::to_string(static_cast<long>(dims));
+    entry.qps = qps;
+    doc.results.push_back(entry);
+    pos = close;
+  }
+  if (doc.results.empty()) {
+    std::fprintf(stderr, "bench_compare: %s: no results\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+const double* lookup(const BenchDoc& doc, const std::string& key) {
+  for (const auto& entry : doc.results) {
+    if (entry.key == key) return &entry.qps;
+  }
+  return nullptr;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <fresh.json> "
+               "[--max-regression <frac in (0,1)>] "
+               "[--require-same-concurrency]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double max_regression = 0.25;
+  bool require_same_concurrency = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      errno = 0;
+      max_regression = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || errno != 0 ||
+          max_regression <= 0.0 || max_regression >= 1.0) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--require-same-concurrency") == 0) {
+      require_same_concurrency = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  BenchDoc baseline, fresh;
+  if (!parse_doc(paths[0], baseline) || !parse_doc(paths[1], fresh)) return 2;
+
+  if (baseline.hardware_concurrency != fresh.hardware_concurrency) {
+    std::printf("bench_compare: hardware_concurrency differs "
+                "(baseline %u, fresh %u) — q/s is not host-comparable\n",
+                baseline.hardware_concurrency, fresh.hardware_concurrency);
+    if (require_same_concurrency) {
+      std::printf("bench_compare: gate skipped "
+                  "(--require-same-concurrency)\n");
+      return 0;
+    }
+  }
+
+  std::printf("%-32s %12s %12s %9s\n", "label", "baseline q/s", "fresh q/s",
+              "ratio");
+  int regressions = 0;
+  for (const auto& base : baseline.results) {
+    const double* fresh_qps = lookup(fresh, base.key);
+    if (fresh_qps == nullptr) {
+      std::printf("%-32s %12.0f %12s %9s  (missing from fresh run)\n",
+                  base.key.c_str(), base.qps, "-", "-");
+      continue;
+    }
+    const double ratio = base.qps > 0.0 ? *fresh_qps / base.qps : 1.0;
+    const bool regressed = ratio < 1.0 - max_regression;
+    std::printf("%-32s %12.0f %12.0f %8.2fx%s\n", base.key.c_str(), base.qps,
+                *fresh_qps, ratio, regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const auto& entry : fresh.results) {
+    if (lookup(baseline, entry.key) == nullptr) {
+      std::printf("%-32s %12s %12.0f %9s  (new label)\n", entry.key.c_str(),
+                  "-", entry.qps, "-");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("bench_compare: %d label(s) regressed more than %.0f%%\n",
+                regressions, max_regression * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: no q/s regression beyond %.0f%%\n",
+              max_regression * 100.0);
+  return 0;
+}
