@@ -6,7 +6,7 @@
 //
 //   {
 //     "bench": "<binary name>",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "hardware_concurrency": <uint>,
 //     "results": [
 //       {
@@ -16,14 +16,17 @@
 //         "fidelity": "circuit" | "nominal",
 //         "qps": <double>,
 //         "latency_p50_us": <double>,
-//         "latency_p95_us": <double>
+//         "latency_p95_us": <double>,
+//         "latency_p99_us": <double>
 //       }, ...
 //     ]
 //   }
 //
 // Latency percentiles are per measured call; batched modes divide each
 // batch call's wall time by its query count first (amortized per-query
-// latency), which is noted in the mode's label.
+// latency), which is noted in the mode's label. Schema v2 added
+// latency_p99_us (serve-path tails); consumers key on label/geometry
+// and tolerate the extra field either way.
 #pragma once
 
 #include <algorithm>
@@ -46,6 +49,7 @@ struct Record {
   double qps = 0.0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 /// Linear-interpolated percentile over already-sorted samples, p in
@@ -92,6 +96,7 @@ inline void fill_timing(Record& record, std::span<const double> call_seconds,
   record.qps = total > 0.0 ? static_cast<double>(queries) / total : 0.0;
   record.latency_p50_us = percentile_sorted(per_query_us, 50.0);
   record.latency_p95_us = percentile_sorted(per_query_us, 95.0);
+  record.latency_p99_us = percentile_sorted(per_query_us, 99.0);
 }
 
 /// Writes the document; returns false (with a message on stderr) on I/O
@@ -104,7 +109,7 @@ inline bool write_json(const std::string& path, const std::string& bench,
     return false;
   }
   std::fprintf(f,
-               "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+               "{\n  \"bench\": \"%s\",\n  \"schema_version\": 2,\n"
                "  \"hardware_concurrency\": %u,\n  \"results\": [",
                bench.c_str(), std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -113,9 +118,11 @@ inline bool write_json(const std::string& path, const std::string& bench,
         f,
         "%s\n    {\"label\": \"%s\", \"geometry\": {\"rows\": %zu, "
         "\"dims\": %zu}, \"queries\": %zu, \"fidelity\": \"%s\", "
-        "\"qps\": %.3f, \"latency_p50_us\": %.3f, \"latency_p95_us\": %.3f}",
+        "\"qps\": %.3f, \"latency_p50_us\": %.3f, \"latency_p95_us\": %.3f, "
+        "\"latency_p99_us\": %.3f}",
         i == 0 ? "" : ",", r.label.c_str(), r.rows, r.dims, r.queries,
-        r.fidelity.c_str(), r.qps, r.latency_p50_us, r.latency_p95_us);
+        r.fidelity.c_str(), r.qps, r.latency_p50_us, r.latency_p95_us,
+        r.latency_p99_us);
   }
   std::fprintf(f, "\n  ]\n}\n");
   const bool ok = std::fclose(f) == 0;

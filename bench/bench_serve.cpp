@@ -1,0 +1,240 @@
+// Serve-path throughput and latency through the AsyncAmIndex front
+// door, against the synchronous AmIndex baseline.
+//
+// Three measurement modes per backend (EngineIndex "engine_*",
+// BankedIndex "banked_*"), circuit fidelity:
+//
+//   *_serve_sync       search() in a sequential loop — the synchronous
+//                      baseline; per-call latency samples.
+//   *_serve_async      submit() every request up front, then drain the
+//                      futures — the coalescing path; percentiles are
+//                      the wrapper's end-to-end reservoir (submit ->
+//                      future complete), q/s is wall-clock over the run.
+//   *_serve_roundtrip  submit() + get() one request at a time — queue +
+//                      dispatch + wake overhead on an idle server; the
+//                      p50 gap to *_serve_sync is the async tax per
+//                      request.
+//
+// A fourth record per backend, *_serve_queue_wait, re-exports the async
+// run's queue-wait reservoir (submit -> dispatch) so the regression
+// gate also watches time spent waiting rather than working.
+//
+// Usage: bench_serve [--json <path>] [rows] [dims] [queries]
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "serve/async_index.hpp"
+#include "serve/banked_index.hpp"
+#include "serve/engine_index.hpp"
+
+#include "bench_json.hpp"
+
+namespace {
+
+using namespace ferex;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+benchjson::Record base_record(const std::string& label, std::size_t rows,
+                              std::size_t dims) {
+  benchjson::Record record;
+  record.label = label;
+  record.rows = rows;
+  record.dims = dims;
+  record.fidelity = "circuit";
+  return record;
+}
+
+benchjson::Record from_reservoir(
+    const std::string& label, std::size_t rows, std::size_t dims,
+    const core::LatencyReservoir::Summary& summary, double qps) {
+  auto record = base_record(label, rows, dims);
+  record.queries = summary.count;
+  record.qps = qps;
+  record.latency_p50_us = summary.p50_us;
+  record.latency_p95_us = summary.p95_us;
+  record.latency_p99_us = summary.p99_us;
+  return record;
+}
+
+struct ServeNumbers {
+  double sync_qps = 0.0;
+  double async_qps = 0.0;
+  double sync_p50_us = 0.0;
+  double roundtrip_p50_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+/// Measures one backend through all serve modes. `sync_index` and
+/// `async_backend` are twin indexes (same construction) so the two
+/// paths serve identical work from identical state.
+ServeNumbers measure(const std::string& prefix, std::size_t rows,
+                     std::size_t dims, serve::AmIndex& sync_index,
+                     serve::AmIndex& async_backend,
+                     const std::vector<std::vector<int>>& queries,
+                     std::vector<benchjson::Record>& records) {
+  std::vector<serve::SearchRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  ServeNumbers numbers;
+
+  // Synchronous baseline.
+  auto sync_record = base_record(prefix + "_serve_sync", rows, dims);
+  benchjson::fill_timing(
+      sync_record,
+      benchjson::time_calls(
+          requests.size(),
+          [&](std::size_t i) { (void)sync_index.search(requests[i]); }),
+      1);
+  numbers.sync_qps = sync_record.qps;
+  numbers.sync_p50_us = sync_record.latency_p50_us;
+  records.push_back(sync_record);
+
+  // Coalescing async path: enqueue everything, then drain. A fresh
+  // wrapper per mode keeps its reservoirs scoped to the measured run.
+  {
+    serve::AsyncOptions options;
+    options.queue_depth = requests.size();
+    options.max_batch = 32;
+    options.max_wait_us = 100;
+    serve::AsyncAmIndex async_index(async_backend, options);
+    std::vector<std::future<serve::SearchResponse>> futures;
+    futures.reserve(requests.size());
+    const auto start = Clock::now();
+    for (const auto& request : requests) {
+      futures.push_back(async_index.submit(request));
+    }
+    for (auto& future : futures) (void)future.get();
+    const double wall = seconds_since(start);
+    const auto stats = async_index.stats();
+    numbers.async_qps =
+        wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
+    numbers.mean_batch =
+        stats.batches > 0 ? static_cast<double>(stats.served) /
+                                static_cast<double>(stats.batches)
+                          : 0.0;
+    records.push_back(from_reservoir(prefix + "_serve_async", rows, dims,
+                                     stats.end_to_end_us,
+                                     numbers.async_qps));
+    records.push_back(from_reservoir(prefix + "_serve_queue_wait", rows,
+                                     dims, stats.queue_wait_us,
+                                     numbers.async_qps));
+  }
+
+  // Idle round trip: queue-in, dispatch, future-wake per request. No
+  // coalescing linger — with one request in flight at a time the linger
+  // would only add its full max_wait_us to every sample, so this mode
+  // measures the pure async tax.
+  {
+    serve::AsyncOptions options;
+    options.max_wait_us = 0;
+    serve::AsyncAmIndex async_index(async_backend, options);
+    auto roundtrip = base_record(prefix + "_serve_roundtrip", rows, dims);
+    benchjson::fill_timing(
+        roundtrip,
+        benchjson::time_calls(requests.size(),
+                              [&](std::size_t i) {
+                                (void)async_index.submit(requests[i]).get();
+                              }),
+        1);
+    numbers.roundtrip_p50_us = roundtrip.latency_p50_us;
+    records.push_back(roundtrip);
+  }
+  return numbers;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json <path>] [rows] [dims] [queries]  "
+               "(positive integers up to 2^20)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t rows = 128, dims = 64, n_queries = 256;
+  std::string json_path;
+  std::size_t* const params[] = {&rows, &dims, &n_queries};
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(argv[i], &end, 10);
+    if (positional >= 3 || argv[i][0] == '-' || end == argv[i] ||
+        *end != '\0' || errno != 0 || v == 0 || v > 1u << 20) {
+      return usage(argv[0]);
+    }
+    *params[positional++] = static_cast<std::size_t>(v);
+  }
+
+  const auto db = data::random_int_vectors(rows, dims, 4, 1);
+  const auto queries = data::random_int_vectors(n_queries, dims, 4, 2);
+  serve::SearchRequest warm;
+  warm.query = queries.front();
+
+  std::printf("bench_serve: %zu rows x %zu dims, %zu queries, "
+              "hardware_concurrency=%u\n\n",
+              rows, dims, n_queries, std::thread::hardware_concurrency());
+
+  std::vector<benchjson::Record> records;
+  const auto report = [](const char* name, const ServeNumbers& n) {
+    std::printf("%s  sync %8.0f q/s   async %8.0f q/s (mean batch %.1f)   "
+                "dispatch overhead p50 %+.1f us\n",
+                name, n.sync_qps, n.async_qps, n.mean_batch,
+                n.roundtrip_p50_us - n.sync_p50_us);
+  };
+
+  {
+    serve::EngineIndex sync_index;
+    sync_index.configure(csp::DistanceMetric::kHamming, 2);
+    sync_index.store(db);
+    serve::EngineIndex async_backend;
+    async_backend.configure(csp::DistanceMetric::kHamming, 2);
+    async_backend.store(db);
+    // Warm both (programming/allocation stays out of the window); the
+    // warm search consumes ordinal 0 on each, keeping the twins aligned.
+    (void)sync_index.search(warm);
+    (void)async_backend.search(warm);
+    report("EngineIndex",
+           measure("engine", rows, dims, sync_index, async_backend, queries,
+                   records));
+  }
+
+  {
+    arch::BankedOptions opt;
+    opt.bank_rows = rows / 4 ? rows / 4 : 1;
+    serve::BankedIndex sync_index(opt);
+    sync_index.configure(csp::DistanceMetric::kHamming, 2);
+    sync_index.store(db);
+    serve::BankedIndex async_backend(opt);
+    async_backend.configure(csp::DistanceMetric::kHamming, 2);
+    async_backend.store(db);
+    (void)sync_index.search(warm);
+    (void)async_backend.search(warm);
+    report("BankedIndex",
+           measure("banked", rows, dims, sync_index, async_backend, queries,
+                   records));
+  }
+
+  if (!json_path.empty() &&
+      !benchjson::write_json(json_path, "bench_serve", records)) {
+    return 1;
+  }
+  return 0;
+}

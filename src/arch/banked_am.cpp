@@ -142,7 +142,10 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
     bank_results[b] = banks_[b]->search_at(query, ordinal, bank_parallel_rows);
   };
   if (parallel_banks && banks_.size() > 1) {
-    util::parallel_for(banks_.size(), run_bank);
+    // Affine schedule: bank b lands on the same pool participant on
+    // every query, so each bank's cached bias/current tables stay warm
+    // in one thread's caches across a serving stream.
+    util::parallel_for_affine(banks_.size(), run_bank);
   } else {
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }
@@ -290,7 +293,8 @@ std::vector<BankedSearchResult> BankedAm::search_k_hits(
   };
   if (parallel_banks.value_or(parallel_banks_worthwhile()) &&
       banks_.size() > 1) {
-    util::parallel_for(banks_.size(), run_bank);
+    // Same bank -> participant affinity as the single-NN path.
+    util::parallel_for_affine(banks_.size(), run_bank);
   } else {
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }

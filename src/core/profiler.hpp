@@ -8,7 +8,9 @@
 // accuracy (Fig. 7) without running the full MC.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,6 +18,72 @@
 #include "util/stats.hpp"
 
 namespace ferex::core {
+
+/// Serve-path latency percentiles via a lock-free per-thread reservoir.
+///
+/// The serving layer needs p50/p95/p99 of queue-wait and end-to-end
+/// latency without perturbing the path it measures: a mutex-guarded
+/// sample vector would serialize exactly the threads whose concurrency
+/// is being benchmarked. Instead each recording thread owns one slot —
+/// claimed once with a CAS, cached thread-locally — and appends into a
+/// fixed-size sample array with relaxed atomic stores (reservoir
+/// sampling once the array is full, so the kept set stays a uniform
+/// sample of everything seen). record() takes no locks and never blocks
+/// another recorder.
+///
+/// summarize() merges the per-thread reservoirs into percentiles. It can
+/// run concurrently with recorders — the atomics make that well-defined
+/// under TSan — but a snapshot taken mid-traffic is a sample of a moving
+/// stream; quiesce first when exact counts matter. More recording
+/// threads than kSlots is not an error: overflow records are counted
+/// (and reported via Summary::dropped) rather than taken.
+class LatencyReservoir {
+ public:
+  /// Max concurrent recording threads tracked slot-per-thread.
+  static constexpr std::size_t kSlots = 64;
+
+  /// `capacity_per_thread` bounds memory: each recording thread keeps at
+  /// most this many samples (uniformly subsampled past it).
+  explicit LatencyReservoir(std::size_t capacity_per_thread = 512);
+
+  LatencyReservoir(const LatencyReservoir&) = delete;
+  LatencyReservoir& operator=(const LatencyReservoir&) = delete;
+
+  /// Records one sample (microseconds by convention). Lock-free; safe
+  /// from any number of threads concurrently.
+  void record(double sample_us) noexcept;
+
+  struct Summary {
+    std::uint64_t count = 0;    ///< samples offered to record()
+    std::uint64_t kept = 0;     ///< samples retained in the reservoirs
+    std::uint64_t dropped = 0;  ///< records lost to slot exhaustion
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;  ///< exact (tracked outside the reservoir)
+  };
+
+  /// Merges every thread's reservoir into percentiles (linear
+  /// interpolation over the kept samples, the bench_json convention).
+  Summary summarize() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> owner{0};  ///< hashed thread id; 0 = free
+    std::atomic<std::uint64_t> seen{0};   ///< samples offered to this slot
+    std::atomic<double> max{0.0};
+    std::uint64_t rng = 0;  ///< owner-thread-only reservoir RNG state
+    std::vector<std::atomic<double>> samples;
+  };
+
+  /// This thread's slot, claiming one on first use (nullptr when all
+  /// kSlots are owned by other live threads).
+  Slot* slot_for_this_thread() noexcept;
+
+  const std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
 
 struct SearchProfile {
   std::size_t queries = 0;

@@ -32,8 +32,7 @@ SearchResponse AmIndex::search_at(const SearchRequest& request,
 
 std::vector<SearchResponse> AmIndex::search_batch(
     std::span<const SearchRequest> requests) {
-  std::vector<SearchResponse> responses(requests.size());
-  if (requests.empty()) return responses;
+  if (requests.empty()) return {};
   // Whole-batch validation up front: a rejected batch consumes nothing.
   for (const auto& request : requests) validate_request(request);
   std::vector<std::uint64_t> ordinals(requests.size());
@@ -42,6 +41,25 @@ std::vector<SearchResponse> AmIndex::search_batch(
     ordinals[i] = requests[i].ordinal ? *requests[i].ordinal : next++;
   }
   query_serial_ = next;
+  return dispatch_batch(requests, ordinals);
+}
+
+std::vector<SearchResponse> AmIndex::search_batch_at(
+    std::span<const SearchRequest> requests,
+    std::span<const std::uint64_t> ordinals) const {
+  if (requests.size() != ordinals.size()) {
+    throw std::invalid_argument(
+        "AmIndex::search_batch_at: requests/ordinals size mismatch");
+  }
+  if (requests.empty()) return {};
+  for (const auto& request : requests) validate_request(request);
+  return dispatch_batch(requests, ordinals);
+}
+
+std::vector<SearchResponse> AmIndex::dispatch_batch(
+    std::span<const SearchRequest> requests,
+    std::span<const std::uint64_t> ordinals) const {
+  std::vector<SearchResponse> responses(requests.size());
   if (inner_fan_for_batch(requests.size())) {
     // The batch alone cannot saturate the pool: keep requests serial and
     // let each one fan its rows/banks (bit-identical either way).

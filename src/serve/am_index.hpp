@@ -116,8 +116,37 @@ class AmIndex {
   SearchResponse search_at(const SearchRequest& request,
                            std::uint64_t ordinal) const;
 
+  /// Const ordinal-addressed batch core: serves request i at ordinals[i],
+  /// consuming nothing (any request.ordinal is ignored in favor of the
+  /// argument). Scheduling matches search_batch — requests fan across the
+  /// worker pool unless the backend prefers inner row/bank fan-out — and
+  /// element i is bit-identical to search_at(requests[i], ordinals[i]).
+  /// This is the serving core async front doors batch onto: they assign
+  /// ordinals at submission time and coalesce here without perturbing the
+  /// index's own query serial. Throws std::invalid_argument when the two
+  /// spans differ in length, and validates every request up front.
+  std::vector<SearchResponse> search_batch_at(
+      std::span<const SearchRequest> requests,
+      std::span<const std::uint64_t> ordinals) const;
+
+  /// Full request validation (k range + backend query checks), the same
+  /// pass every serving entry point runs before any ordinal is consumed.
+  /// Public so queueing layers can reject malformed requests at admission
+  /// time, before a promise or an ordinal exists for them.
+  void validate_request(const SearchRequest& request) const;
+
   /// Ordinal the next unpinned search() will consume.
   std::uint64_t query_serial() const noexcept { return query_serial_; }
+
+  /// Overwrites the query serial. For serving layers (AsyncAmIndex)
+  /// that take over ordinal accounting while open: they seed from
+  /// query_serial() at construction and hand the advanced serial back
+  /// at shutdown, so synchronous traffic before and after an async
+  /// session continues the same noise-stream sequence with no ordinal
+  /// served twice.
+  void set_query_serial(std::uint64_t serial) noexcept {
+    query_serial_ = serial;
+  }
 
   virtual std::size_t stored_count() const noexcept = 0;
   virtual std::size_t dims() const noexcept = 0;
@@ -140,8 +169,12 @@ class AmIndex {
   virtual bool inner_fan_for_batch(std::size_t batch_size) const = 0;
 
  private:
-  /// Full request validation before any ordinal is consumed.
-  void validate_request(const SearchRequest& request) const;
+  /// Post-validation batch dispatch shared by search_batch and
+  /// search_batch_at: fans requests across the pool or runs them serially
+  /// with inner fan-out, per the backend's scheduling rule.
+  std::vector<SearchResponse> dispatch_batch(
+      std::span<const SearchRequest> requests,
+      std::span<const std::uint64_t> ordinals) const;
 
   std::uint64_t query_serial_ = 0;
 };

@@ -1,0 +1,251 @@
+#include "serve/async_index.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace ferex::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+AsyncOptions sanitized(AsyncOptions options) {
+  options.queue_depth = std::max<std::size_t>(1, options.queue_depth);
+  options.max_batch = std::max<std::size_t>(1, options.max_batch);
+  options.dispatchers = std::max<std::size_t>(1, options.dispatchers);
+  return options;
+}
+
+}  // namespace
+
+AsyncAmIndex::AsyncAmIndex(AmIndex& index, AsyncOptions options)
+    : index_(index),
+      options_(sanitized(options)),
+      queue_(options_.queue_depth) {
+  // Take over ordinal accounting where the index left off, so an async
+  // session after synchronous traffic continues the same noise-stream
+  // sequence instead of re-serving consumed ordinals.
+  serial_ = index_.query_serial();
+  dispatchers_.reserve(options_.dispatchers);
+  for (std::size_t d = 0; d < options_.dispatchers; ++d) {
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
+  }
+}
+
+AsyncAmIndex::~AsyncAmIndex() { shutdown(); }
+
+std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
+  // Validation first: a malformed request throws the backend's own
+  // exception before a promise, an ordinal, or a queue slot exists for
+  // it — exactly the synchronous entry points' contract.
+  index_.validate_request(request);
+
+  Pending pending;
+  pending.submitted = Clock::now();
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (shutdown_) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit after shutdown");
+  }
+  const bool pinned = request.ordinal.has_value();
+  pending.ordinal = pinned ? *request.ordinal : serial_;
+  pending.request = std::move(request);
+  std::future<SearchResponse> future = pending.promise.get_future();
+  // Pushers all hold submit_mutex_, so a failed push can only mean the
+  // queue is genuinely at depth (pops only make room) — admission
+  // control, with the serial untouched.
+  if (!queue_.try_push(std::move(pending))) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("AsyncAmIndex: request queue at depth " +
+                     std::to_string(options_.queue_depth));
+  }
+  if (!pinned) ++serial_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
+    std::span<const SearchRequest> requests) {
+  for (const auto& request : requests) index_.validate_request(request);
+  std::vector<std::future<SearchResponse>> futures;
+  futures.reserve(requests.size());
+  if (requests.empty()) return futures;
+
+  const auto now = Clock::now();
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (shutdown_) {
+    rejected_shutdown_.fetch_add(requests.size(), std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit_batch after shutdown");
+  }
+  // All-or-nothing admission: a batch that does not fit consumes nothing
+  // (mirrors the synchronous search_batch, where a rejected batch leaves
+  // the serial where it was).
+  if (queue_.size() + requests.size() > queue_.capacity()) {
+    rejected_overload_.fetch_add(requests.size(), std::memory_order_relaxed);
+    throw Overloaded("AsyncAmIndex: batch of " +
+                     std::to_string(requests.size()) +
+                     " exceeds queue depth " +
+                     std::to_string(options_.queue_depth));
+  }
+  std::uint64_t next = serial_;
+  for (const auto& request : requests) {
+    Pending pending;
+    pending.submitted = now;
+    pending.request = request;
+    pending.ordinal = request.ordinal ? *request.ordinal : next++;
+    futures.push_back(pending.promise.get_future());
+    // Cannot fail: capacity was checked under the same mutex all
+    // pushers hold, and close() also takes it.
+    queue_.try_push(std::move(pending));
+  }
+  serial_ = next;
+  submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
+  return futures;
+}
+
+void AsyncAmIndex::shutdown() {
+  std::uint64_t final_serial = 0;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    final_serial = serial_;
+  }
+  // Drain mode: pushes now fail, but the dispatchers keep popping until
+  // the queue is empty — every accepted future completes.
+  queue_.close();
+  for (auto& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  // Hand the advanced serial back: synchronous traffic after this
+  // session continues the stream where the async ordinals stopped.
+  index_.set_query_serial(final_serial);
+}
+
+bool AsyncAmIndex::shut_down() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return shutdown_;
+}
+
+std::uint64_t AsyncAmIndex::query_serial() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return serial_;
+}
+
+ServeStats AsyncAmIndex::stats() const {
+  ServeStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.queue_wait_us = queue_wait_us_.summarize();
+  stats.end_to_end_us = end_to_end_us_.summarize();
+  return stats;
+}
+
+void AsyncAmIndex::dispatch_loop() {
+  std::vector<Pending> batch;
+  Pending first;
+  while (queue_.pop(first)) {
+    batch.clear();
+    batch.push_back(std::move(first));
+    // Coalesce: take whatever is already queued, then — if the batch is
+    // still short and a linger is configured — wait for stragglers. The
+    // deadline is anchored at the first pop so a trickle of arrivals
+    // cannot stall dispatch indefinitely.
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(options_.max_wait_us);
+    while (batch.size() < options_.max_batch) {
+      Pending next;
+      if (queue_.try_pop(next)) {
+        batch.push_back(std::move(next));
+        continue;
+      }
+      if (options_.max_wait_us == 0 || !queue_.pop_until(next, deadline)) {
+        break;
+      }
+      batch.push_back(std::move(next));
+    }
+    serve_batch(batch);
+  }
+}
+
+void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
+  const auto dispatch_start = Clock::now();
+  for (const auto& pending : batch) {
+    queue_wait_us_.record(us_between(pending.submitted, dispatch_start));
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev_max = max_batch_.load(std::memory_order_relaxed);
+  while (batch.size() > prev_max &&
+         !max_batch_.compare_exchange_weak(prev_max, batch.size(),
+                                           std::memory_order_relaxed)) {
+  }
+
+  if (batch.size() == 1) {
+    auto& pending = batch.front();
+    try {
+      fulfill(pending, index_.search_at(pending.request, pending.ordinal));
+    } catch (...) {
+      fail(pending, std::current_exception());
+    }
+    return;
+  }
+
+  std::vector<SearchRequest> requests;
+  std::vector<std::uint64_t> ordinals;
+  requests.reserve(batch.size());
+  ordinals.reserve(batch.size());
+  for (auto& pending : batch) {
+    requests.push_back(std::move(pending.request));
+    ordinals.push_back(pending.ordinal);
+  }
+  try {
+    auto responses = index_.search_batch_at(requests, ordinals);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      fulfill(batch[i], std::move(responses[i]));
+    }
+  } catch (...) {
+    // A mid-batch backend failure must not poison batchmates: retry each
+    // request alone (ordinal-addressed, so the retry is bit-identical to
+    // a first service) and fail only the futures that themselves throw.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        fulfill(batch[i], index_.search_at(
+                              SearchRequest{std::move(requests[i].query),
+                                            requests[i].k, std::nullopt},
+                              ordinals[i]));
+      } catch (...) {
+        fail(batch[i], std::current_exception());
+      }
+    }
+  }
+}
+
+void AsyncAmIndex::fulfill(Pending& pending, SearchResponse response) {
+  // Record before set_value: a future observer that wakes on the result
+  // must already see this request in the stats (future.get synchronizes
+  // with the promise, ordering these relaxed writes for the observer).
+  end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
+  served_.fetch_add(1, std::memory_order_relaxed);
+  pending.promise.set_value(std::move(response));
+}
+
+void AsyncAmIndex::fail(Pending& pending, std::exception_ptr error) {
+  end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
+  served_.fetch_add(1, std::memory_order_relaxed);
+  pending.promise.set_exception(std::move(error));
+}
+
+}  // namespace ferex::serve

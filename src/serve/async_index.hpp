@@ -1,0 +1,186 @@
+// AsyncAmIndex — the asynchronous front door over any AmIndex.
+//
+// Synchronous serving couples batch shape to client call patterns: a
+// thousand independent callers each issuing search() never form the
+// hardware-shaped batches the banked kernels are fast at, and a burst
+// has no backpressure story beyond blocking. AsyncAmIndex interposes
+// the classic serving triad:
+//
+//   * a bounded MPMC request queue with completion futures —
+//     submit(request) returns std::future<SearchResponse> immediately;
+//   * admission control — past `queue_depth` pending requests,
+//     submissions fail fast with the typed Overloaded error (callers
+//     shed or retry; latency never grows without bound);
+//   * batch coalescing — dispatcher threads drain the queue and fuse
+//     adjacent singles into one AmIndex::search_batch_at call, up to
+//     `max_batch` requests, lingering up to `max_wait_us` for stragglers
+//     when the queue runs dry mid-batch.
+//
+// Determinism: every accepted request is assigned its noise-stream
+// ordinal *at submission time* (the index's next serial, or the
+// request's own pinned ordinal), and dispatchers serve through the const
+// ordinal-addressed cores. Responses are therefore bit-identical to a
+// synchronous AmIndex serving the same requests in submission order —
+// coalescing, dispatcher count, and thread interleaving never change a
+// result, only when it arrives.
+//
+// Lifecycle: shutdown() (and the destructor) closes the queue, lets the
+// dispatchers drain every accepted request (all futures complete — by
+// value or exception, none broken), and joins them. Submissions after
+// shutdown fail fast with the typed ShutDown error. Backend exceptions
+// surface through the affected futures, never std::terminate.
+//
+// The wrapped index must outlive the AsyncAmIndex, and must not be
+// mutated (store/insert/configure) or served synchronously while the
+// async front door is open — the wrapper owns its ordinal accounting.
+//
+// Per-shard affinity: with a BankedIndex backend, a coalesced batch's
+// bank fan-out runs on util::parallel_for_affine, which maps bank b to
+// the same pool participant on every call — each bank's cached bias and
+// current tables stay warm in one thread's caches across the serving
+// stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "serve/am_index.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace ferex::serve {
+
+/// Admission rejection: the request queue is at queue_depth. Fail-fast
+/// by design — submit never blocks the caller.
+class Overloaded : public std::runtime_error {
+ public:
+  explicit Overloaded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Submission after shutdown() — the front door is closed for good.
+class ShutDown : public std::logic_error {
+ public:
+  explicit ShutDown(const std::string& what) : std::logic_error(what) {}
+};
+
+struct AsyncOptions {
+  /// Admission limit: max requests queued ahead of the dispatchers.
+  std::size_t queue_depth = 1024;
+  /// Coalescing cap: max requests fused into one search_batch_at call.
+  std::size_t max_batch = 32;
+  /// Coalescing linger: once a dispatcher holds at least one request, it
+  /// waits up to this long for more before serving a short batch. 0
+  /// serves whatever is immediately available.
+  std::uint32_t max_wait_us = 100;
+  /// Dispatcher threads draining the queue. One preserves global FIFO
+  /// dispatch order; more trade ordering of *completion* for overlap
+  /// (results stay bit-identical either way — ordinals are pinned).
+  std::size_t dispatchers = 1;
+};
+
+/// Counters + latency percentiles for a serving session (all since
+/// construction; see LatencyReservoir for snapshot semantics).
+struct ServeStats {
+  std::uint64_t submitted = 0;          ///< accepted requests
+  std::uint64_t rejected_overload = 0;  ///< failed admission (Overloaded)
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown
+  std::uint64_t served = 0;             ///< futures completed
+  std::uint64_t batches = 0;            ///< dispatch calls issued
+  std::uint64_t max_batch = 0;          ///< largest coalesced batch
+  core::LatencyReservoir::Summary queue_wait_us;  ///< submit -> dispatch
+  core::LatencyReservoir::Summary end_to_end_us;  ///< submit -> complete
+};
+
+class AsyncAmIndex {
+ public:
+  /// Spawns the dispatcher threads immediately (options are clamped to
+  /// at least one of everything). The index must already be configured
+  /// and loaded before requests arrive.
+  explicit AsyncAmIndex(AmIndex& index, AsyncOptions options = {});
+
+  /// shutdown(): drains accepted requests, completes every future.
+  ~AsyncAmIndex();
+
+  AsyncAmIndex(const AsyncAmIndex&) = delete;
+  AsyncAmIndex& operator=(const AsyncAmIndex&) = delete;
+
+  /// Enqueues one request and returns its completion future. Validates
+  /// first (same exceptions as AmIndex::search, nothing consumed on a
+  /// malformed request); then assigns the noise-stream ordinal (the
+  /// wrapper's next serial, or request.ordinal when pinned) and admits —
+  /// throwing Overloaded on a full queue, ShutDown after shutdown(),
+  /// with the serial unmoved in both cases.
+  std::future<SearchResponse> submit(SearchRequest request);
+
+  /// All-or-nothing batch submission: either every request is accepted
+  /// (ordinals assigned contiguously in order, one future each) or the
+  /// whole batch is rejected and nothing is consumed. Already-batched
+  /// traffic skips the coalescing wait: the dispatcher still splits or
+  /// fuses it to max_batch.
+  std::vector<std::future<SearchResponse>> submit_batch(
+      std::span<const SearchRequest> requests);
+
+  /// Closes the queue, drains every accepted request (their futures
+  /// complete), joins the dispatchers. Idempotent; afterwards submit
+  /// throws ShutDown.
+  void shutdown();
+
+  bool shut_down() const;
+
+  /// Ordinal the next unpinned submission will take. Seeded from the
+  /// wrapped index's query_serial() at construction and handed back at
+  /// shutdown, so synchronous traffic before and after an async session
+  /// continues one unbroken noise-stream sequence.
+  std::uint64_t query_serial() const;
+
+  ServeStats stats() const;
+
+  const AsyncOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pending {
+    SearchRequest request;
+    std::uint64_t ordinal = 0;
+    std::promise<SearchResponse> promise;
+    std::chrono::steady_clock::time_point submitted{};
+  };
+
+  void dispatch_loop();
+  /// Serves one coalesced batch: singles through search_at, larger
+  /// batches through search_batch_at with a per-request fallback so one
+  /// failing request cannot poison its batchmates' futures.
+  void serve_batch(std::vector<Pending>& batch);
+  void fulfill(Pending& pending, SearchResponse response);
+  void fail(Pending& pending, std::exception_ptr error);
+
+  AmIndex& index_;
+  const AsyncOptions options_;
+  util::BoundedQueue<Pending> queue_;
+
+  mutable std::mutex submit_mutex_;  ///< guards serial_ / shutdown_ and
+                                     ///< makes admission + ordinal atomic
+  std::uint64_t serial_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> dispatchers_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  core::LatencyReservoir queue_wait_us_;
+  core::LatencyReservoir end_to_end_us_;
+};
+
+}  // namespace ferex::serve

@@ -1,0 +1,113 @@
+// Bounded MPMC queue — the admission-control primitive for async serving.
+//
+// A serving front door must bound its backlog: past a configurable depth
+// it is better to reject a request immediately (the caller can shed or
+// retry) than to let latency grow without bound. This queue therefore
+// never blocks producers — try_push fails fast when the queue is full or
+// closed — while consumers can block (pop), poll (try_pop), or wait with
+// a deadline (pop_until, the coalescing linger of AsyncAmIndex).
+//
+// close() flips the queue into drain mode: pushes fail, but consumers
+// keep receiving the items that were already queued until the queue is
+// empty, and only then do pop/pop_until return false. That is exactly
+// the shutdown contract of a request queue whose items carry promises —
+// every accepted request is either served or explicitly failed, never
+// silently dropped.
+//
+// Plain mutex + condition variable: the pool's fan-out work never flows
+// through this queue (items are whole requests, microseconds of work
+// each), so lock-free cleverness would buy nothing and cost TSan-proof
+// simplicity.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace ferex::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity would make every push fail; clamp to 1.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed (returns false either
+  /// way — never blocks). A failed push leaves `item` moved-from.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed *and* drained;
+  /// false only in the latter case (drain mode still hands out items).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(out);
+  }
+
+  /// Non-blocking pop; false when nothing is immediately available.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked(out);
+  }
+
+  /// Blocks until an item arrives, the deadline passes, or the queue is
+  /// closed and drained; false when no item was handed out.
+  bool pop_until(T& out, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_until(lock, deadline,
+                      [&] { return closed_ || !items_.empty(); });
+    return pop_locked(out);
+  }
+
+  /// Fails all future pushes and wakes every waiting consumer; queued
+  /// items stay poppable (drain mode). Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  bool pop_locked(T& out) {
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ferex::util

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <system_error>
 #include <thread>
@@ -28,14 +29,34 @@ std::size_t detect_pool_width() noexcept {
 
 thread_local bool tls_pool_worker = false;
 
+/// Stable participant index: 0 for the submitter, 1..W for the workers
+/// (set once per worker at spawn). Affine jobs use it to map lanes to
+/// threads consistently across calls.
+thread_local std::size_t tls_participant = 0;
+
 /// One fork/join job: an atomic work index every participating thread
 /// (workers + the submitter) drains, plus an active-participant count the
 /// submitter waits on. Lives on the submitter's stack for its duration.
+///
+/// Two schedules share the struct. Dynamic (lanes == 0): items are
+/// claimed from the shared `next` cursor — pure work stealing. Affine
+/// (lanes > 0): item i belongs to lane i % lanes and participant p
+/// drains lane p first, then steals from the other lanes; `next` then
+/// counts *claimed* items so the workers' wait predicate and the
+/// error-stop path stay identical across both schedules.
 struct Job {
-  Job(const std::function<void(std::size_t)>& f, std::size_t count)
-      : fn(&f), n(count) {}
+  Job(const std::function<void(std::size_t)>& f, std::size_t count,
+      std::size_t lane_count)
+      : fn(&f), n(count), lanes(lane_count) {
+    if (lanes > 0) {
+      // value-initialized -> every lane cursor starts at 0
+      lane_next = std::make_unique<std::atomic<std::size_t>[]>(lanes);
+    }
+  }
   const std::function<void(std::size_t)>* fn;
   std::size_t n;
+  std::size_t lanes;  ///< 0 = dynamic schedule
+  std::unique_ptr<std::atomic<std::size_t>[]> lane_next;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> active{0};
   std::exception_ptr first_error;
@@ -49,7 +70,8 @@ class WorkerPool {
     return pool;
   }
 
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           bool affine) {
     // One top-level job at a time; a second caller runs inline rather
     // than queueing (it makes progress either way, and results never
     // depend on the schedule).
@@ -64,7 +86,9 @@ class WorkerPool {
       return;
     }
 
-    Job job(fn, n);
+    // Affine lanes map onto the participants that can actually exist:
+    // the submitter (lane 0) plus the workers that really spawned.
+    Job job(fn, n, affine ? workers_.size() + 1 : 0);
     {
       std::lock_guard<std::mutex> lock(job_mutex_);
       job.active.store(1, std::memory_order_relaxed);  // the submitter
@@ -76,7 +100,7 @@ class WorkerPool {
     // takes the inline path up front instead of re-entering run() and
     // try-locking a mutex this thread already owns (which would be UB).
     tls_pool_worker = true;
-    drain(job);
+    drain(job, /*participant=*/0);
     tls_pool_worker = false;
     {
       std::unique_lock<std::mutex> lock(job_mutex_);
@@ -108,7 +132,7 @@ class WorkerPool {
     workers_.reserve(width - 1);
     try {
       for (std::size_t w = 1; w < width; ++w) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, w] { worker_loop(w); });
       }
     } catch (const std::system_error&) {
       // Thread spawn failed (resource exhaustion): run with however many
@@ -116,8 +140,9 @@ class WorkerPool {
     }
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t participant) {
     tls_pool_worker = true;
+    tls_participant = participant;
     for (;;) {
       Job* job = nullptr;
       {
@@ -133,7 +158,7 @@ class WorkerPool {
         // until this participant drains and deregisters.
         job->active.fetch_add(1, std::memory_order_relaxed);
       }
-      drain(*job);
+      drain(*job, tls_participant);
       {
         std::lock_guard<std::mutex> lock(job_mutex_);
         if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -143,17 +168,50 @@ class WorkerPool {
     }
   }
 
-  static void drain(Job& job) {
+  static void record_error(Job& job) {
+    std::lock_guard<std::mutex> lock(job.error_mutex);
+    if (!job.first_error) job.first_error = std::current_exception();
+    // Stop handing out work once something failed (both schedules gate
+    // their claims on next < n).
+    job.next.store(job.n, std::memory_order_relaxed);
+  }
+
+  static void drain(Job& job, std::size_t participant) {
+    if (job.lanes > 0) {
+      drain_affine(job, participant);
+      return;
+    }
     for (;;) {
       const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.n) return;
       try {
         (*job.fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job.error_mutex);
-        if (!job.first_error) job.first_error = std::current_exception();
-        // Stop handing out work once something failed.
-        job.next.store(job.n, std::memory_order_relaxed);
+        record_error(job);
+      }
+    }
+  }
+
+  /// Affine drain: own lane first (items participant, participant +
+  /// lanes, ...), then sweep the other lanes so a stalled participant
+  /// never strands its items. Lane cursors are strided claim counters;
+  /// `next` tracks total claims for the wait predicate and error stop.
+  static void drain_affine(Job& job, std::size_t participant) {
+    for (std::size_t offset = 0; offset < job.lanes; ++offset) {
+      const std::size_t lane = (participant + offset) % job.lanes;
+      for (;;) {
+        if (job.next.load(std::memory_order_relaxed) >= job.n) return;
+        const std::size_t stride =
+            job.lane_next[lane].fetch_add(1, std::memory_order_relaxed);
+        const std::size_t i = lane + stride * job.lanes;
+        if (i >= job.n) break;  // lane exhausted: move to the next one
+        job.next.fetch_add(1, std::memory_order_relaxed);
+        try {
+          (*job.fn)(i);
+        } catch (...) {
+          record_error(job);
+          return;
+        }
       }
     }
   }
@@ -181,7 +239,10 @@ std::size_t worker_count(std::size_t jobs) noexcept {
 
 bool on_pool_worker() noexcept { return tls_pool_worker; }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+namespace {
+
+void run_pooled(std::size_t n, const std::function<void(std::size_t)>& fn,
+                bool affine) {
   if (n == 0) return;
   if (n == 1 || pool_width() == 1 || tls_pool_worker) {
     // Single item, single-threaded host, or a nested call from inside a
@@ -190,7 +251,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  WorkerPool::instance().run(n, fn);
+  WorkerPool::instance().run(n, fn, affine);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  run_pooled(n, fn, /*affine=*/false);
+}
+
+void parallel_for_affine(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  run_pooled(n, fn, /*affine=*/true);
 }
 
 }  // namespace ferex::util

@@ -56,4 +56,17 @@ bool on_pool_worker() noexcept;
 /// calling thread after the fan-in, and remaining items may be skipped.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+/// parallel_for with shard affinity: item i is preferentially claimed by
+/// the pool participant with stable index i % P (P = submitter + spawned
+/// workers, each with a fixed id for the pool's lifetime), so a workload
+/// that repeatedly fans the *same* item set — e.g. a banked search firing
+/// its banks on every query — keeps each item on the same thread across
+/// calls and that thread's caches (a bank's bias/current tables) stay
+/// warm. Affinity is best-effort, never a liveness dependency: once a
+/// participant drains its own lane it steals from the others, so a slow
+/// or missing worker only costs locality. Semantics otherwise match
+/// parallel_for exactly; every call site must be schedule-invariant.
+void parallel_for_affine(std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+
 }  // namespace ferex::util

@@ -128,6 +128,71 @@ TEST(PersistentPoolT, NestedExceptionPropagatesThroughTheOuterFanIn) {
                std::invalid_argument);
 }
 
+TEST(AffinePoolT, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  parallel_for_affine(counts.size(), [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(AffinePoolT, RepeatedCallsStayCorrectAcrossLaneReuse) {
+  // The affinity contract is about repeated fan-outs of the same item
+  // set (a banked search firing its banks every query); hammer that
+  // shape. Thread placement is best-effort, so only correctness is
+  // asserted.
+  for (int call = 0; call < 300; ++call) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for_affine(7, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 7u * 6u / 2u);
+  }
+}
+
+TEST(AffinePoolT, StealingCoversLanesOfBusyParticipants) {
+  // More items than participants, with one item slow: the slow lane's
+  // remaining items must still be claimed by the other participants.
+  std::vector<std::atomic<int>> counts(64);
+  parallel_for_affine(counts.size(), [&](std::size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(AffinePoolT, FirstExceptionPropagatesAndPoolSurvives) {
+  EXPECT_THROW(
+      parallel_for_affine(100,
+                          [&](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  std::atomic<int> done{0};
+  parallel_for_affine(50, [&](std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(AffinePoolT, NestedAffineCallsRunInline) {
+  std::atomic<bool> nested_ok{true};
+  std::atomic<int> nested_items{0};
+  parallel_for_affine(4, [&](std::size_t) {
+    const auto outer_thread = std::this_thread::get_id();
+    parallel_for_affine(4, [&](std::size_t) {
+      nested_items.fetch_add(1, std::memory_order_relaxed);
+      if (std::this_thread::get_id() != outer_thread) {
+        nested_ok.store(false);
+      }
+    });
+  });
+  EXPECT_TRUE(nested_ok.load());
+  EXPECT_EQ(nested_items.load(), 16);
+}
+
 TEST(PersistentPoolT, ZeroAndSingleItemRunInline) {
   int calls = 0;
   parallel_for(0, [&](std::size_t) { ++calls; });

@@ -1,5 +1,9 @@
-// Unit tests for the search-quality profiler.
+// Unit tests for the search-quality profiler and the serve-path latency
+// reservoir.
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 #include "core/profiler.hpp"
 #include "util/rng.hpp"
@@ -73,6 +77,66 @@ TEST(Profiler, RejectsUnreadyEngineAndBadBins) {
   EXPECT_THROW(profile_searches(engine, queries), std::logic_error);
   auto ready = ready_engine(false);
   EXPECT_THROW(profile_searches(ready, queries, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------- LatencyReservoir --
+
+TEST(LatencyReservoirT, ExactPercentilesBelowCapacity) {
+  LatencyReservoir reservoir(/*capacity_per_thread=*/2048);
+  for (int i = 1; i <= 1000; ++i) reservoir.record(static_cast<double>(i));
+  const auto summary = reservoir.summarize();
+  EXPECT_EQ(summary.count, 1000u);
+  EXPECT_EQ(summary.kept, 1000u);
+  EXPECT_EQ(summary.dropped, 0u);
+  // Linear interpolation over 1..1000 (the bench_json convention).
+  EXPECT_NEAR(summary.p50_us, 500.5, 1e-9);
+  EXPECT_NEAR(summary.p95_us, 950.05, 1e-9);
+  EXPECT_NEAR(summary.p99_us, 990.01, 1e-9);
+  EXPECT_EQ(summary.max_us, 1000.0);
+}
+
+TEST(LatencyReservoirT, ReservoirCapsKeptSamplesButCountsEverything) {
+  LatencyReservoir reservoir(/*capacity_per_thread=*/64);
+  for (int i = 1; i <= 10000; ++i) reservoir.record(static_cast<double>(i));
+  const auto summary = reservoir.summarize();
+  EXPECT_EQ(summary.count, 10000u);
+  EXPECT_EQ(summary.kept, 64u);
+  EXPECT_EQ(summary.max_us, 10000.0);  // exact even when evicted
+  EXPECT_GE(summary.p50_us, 1.0);
+  EXPECT_LE(summary.p50_us, 10000.0);
+  EXPECT_LE(summary.p50_us, summary.p95_us);
+  EXPECT_LE(summary.p95_us, summary.p99_us);
+}
+
+TEST(LatencyReservoirT, ConcurrentRecordersMergeLockFree) {
+  LatencyReservoir reservoir(/*capacity_per_thread=*/1024);
+  constexpr std::size_t kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> recorders;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&reservoir, t] {
+      for (std::size_t i = 1; i <= kPerThread; ++i) {
+        reservoir.record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : recorders) thread.join();
+  const auto summary = reservoir.summarize();
+  EXPECT_EQ(summary.count, kThreads * kPerThread);
+  EXPECT_EQ(summary.kept, kThreads * kPerThread);  // under capacity
+  EXPECT_EQ(summary.dropped, 0u);
+  EXPECT_EQ(summary.max_us, static_cast<double>(kThreads * kPerThread));
+  // Merged p50 over 1..4000 recorded across four disjoint ranges.
+  EXPECT_NEAR(summary.p50_us, 2000.5, 1e-9);
+}
+
+TEST(LatencyReservoirT, IndependentInstancesDoNotShareSlots) {
+  LatencyReservoir a(16), b(16);
+  a.record(1.0);
+  b.record(100.0);
+  EXPECT_EQ(a.summarize().count, 1u);
+  EXPECT_EQ(b.summarize().count, 1u);
+  EXPECT_EQ(a.summarize().max_us, 1.0);
+  EXPECT_EQ(b.summarize().max_us, 100.0);
 }
 
 }  // namespace

@@ -1,21 +1,28 @@
 // Bench regression gate: diffs a fresh `--json` document from
-// bench_search_hotpath / bench_batch against a committed BENCH_*.json
-// snapshot and fails when any shared label's q/s regressed past the
-// threshold.
+// bench_search_hotpath / bench_batch / bench_serve against a committed
+// BENCH_*.json snapshot and fails when any shared label regressed past
+// the threshold — in throughput or in tail latency.
 //
 // Usage:
 //   bench_compare <baseline.json> <fresh.json>
-//                 [--max-regression <frac>]       (default 0.25)
+//                 [--max-regression <frac>]          (default 0.25)
+//                 [--max-latency-regression <frac>]  (default 0.25)
 //                 [--require-same-concurrency]
 //
 // Labels are matched by name; labels present in only one document are
-// reported but never gate (benches grow modes over time). A fresh qps
-// below (1 - frac) x baseline qps is a regression -> exit 1.
+// reported but never gate (benches grow modes over time). Two gates per
+// shared label:
+//   * q/s: fresh qps below (1 - frac) x baseline qps -> regression;
+//   * p95 latency: fresh latency_p95_us above (1 + frac) x baseline ->
+//     regression (serve-path tails regress long before means do).
+// Either kind -> exit 1. A label whose baseline p95 is 0 (older
+// snapshot, or a mode without latency samples) skips the latency gate.
 //
-// --require-same-concurrency downgrades the gate to a note (exit 0)
+// --require-same-concurrency downgrades both gates to a note (exit 0)
 // when the two documents record different hardware_concurrency values:
-// q/s measured on differently shaped hosts is not comparable, and CI
-// runners rarely match the machine that committed the snapshot.
+// q/s and latency measured on differently shaped hosts are not
+// comparable, and CI runners rarely match the machine that committed
+// the snapshot.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +37,7 @@ namespace {
 struct Entry {
   std::string key;  ///< "label rowsxdims" — labels repeat per geometry
   double qps = 0.0;
+  double p95_us = 0.0;  ///< 0 when the record carries no latency
 };
 
 struct BenchDoc {
@@ -81,7 +89,7 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
     // or hand-edited record fails loudly instead of silently borrowing
     // the next record's numbers.
     const std::size_t record_end = text.find("\"label\"", close);
-    double rows = 0.0, dims = 0.0, qps = 0.0;
+    double rows = 0.0, dims = 0.0, qps = 0.0, p95 = 0.0;
     const std::size_t rows_at = find_number_after(close, "\"rows\"", rows);
     const std::size_t dims_at = find_number_after(close, "\"dims\"", dims);
     const std::size_t qps_at = find_number_after(close, "\"qps\"", qps);
@@ -93,10 +101,17 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
                    path.c_str(), label.c_str());
       return false;
     }
+    // Optional (schema v1 documents predate p99; p95 has always been
+    // written, but stay permissive: a missing field just skips the
+    // latency gate for this label).
+    const std::size_t p95_at =
+        find_number_after(close, "\"latency_p95_us\"", p95);
+    if (p95_at == std::string::npos || p95_at >= record_end) p95 = 0.0;
     Entry entry;
     entry.key = label + " " + std::to_string(static_cast<long>(rows)) + "x" +
                 std::to_string(static_cast<long>(dims));
     entry.qps = qps;
+    entry.p95_us = p95;
     doc.results.push_back(entry);
     pos = close;
   }
@@ -107,9 +122,9 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
   return true;
 }
 
-const double* lookup(const BenchDoc& doc, const std::string& key) {
+const Entry* lookup(const BenchDoc& doc, const std::string& key) {
   for (const auto& entry : doc.results) {
-    if (entry.key == key) return &entry.qps;
+    if (entry.key == key) return &entry;
   }
   return nullptr;
 }
@@ -118,9 +133,18 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <fresh.json> "
                "[--max-regression <frac in (0,1)>] "
+               "[--max-latency-regression <frac in (0,1)>] "
                "[--require-same-concurrency]\n",
                argv0);
   return 2;
+}
+
+/// Parses a strict (0,1) fraction; returns false on any malformation.
+bool parse_fraction(const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0' && errno == 0 && out > 0.0 && out < 1.0;
 }
 
 }  // namespace
@@ -128,14 +152,14 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double max_regression = 0.25;
+  double max_latency_regression = 0.25;
   bool require_same_concurrency = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      errno = 0;
-      max_regression = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || errno != 0 ||
-          max_regression <= 0.0 || max_regression >= 1.0) {
+      if (!parse_fraction(argv[++i], max_regression)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-latency-regression") == 0 &&
+               i + 1 < argc) {
+      if (!parse_fraction(argv[++i], max_latency_regression)) {
         return usage(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--require-same-concurrency") == 0) {
@@ -162,34 +186,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-32s %12s %12s %9s\n", "label", "baseline q/s", "fresh q/s",
-              "ratio");
+  std::printf("%-32s %12s %12s %9s %11s %11s\n", "label", "baseline q/s",
+              "fresh q/s", "ratio", "base p95us", "fresh p95us");
   int regressions = 0;
   for (const auto& base : baseline.results) {
-    const double* fresh_qps = lookup(fresh, base.key);
-    if (fresh_qps == nullptr) {
-      std::printf("%-32s %12.0f %12s %9s  (missing from fresh run)\n",
-                  base.key.c_str(), base.qps, "-", "-");
+    const Entry* now = lookup(fresh, base.key);
+    if (now == nullptr) {
+      std::printf("%-32s %12.0f %12s %9s %11s %11s  (missing from fresh)\n",
+                  base.key.c_str(), base.qps, "-", "-", "-", "-");
       continue;
     }
-    const double ratio = base.qps > 0.0 ? *fresh_qps / base.qps : 1.0;
-    const bool regressed = ratio < 1.0 - max_regression;
-    std::printf("%-32s %12.0f %12.0f %8.2fx%s\n", base.key.c_str(), base.qps,
-                *fresh_qps, ratio, regressed ? "  REGRESSION" : "");
-    if (regressed) ++regressions;
+    const double ratio = base.qps > 0.0 ? now->qps / base.qps : 1.0;
+    const bool qps_regressed = ratio < 1.0 - max_regression;
+    // Latency gates only with a baseline to compare against; a fresh
+    // p95 of 0 with a nonzero baseline would be an improvement, not a
+    // regression, so it passes on its own terms.
+    const bool latency_regressed =
+        base.p95_us > 0.0 &&
+        now->p95_us > base.p95_us * (1.0 + max_latency_regression);
+    const char* verdict = qps_regressed && latency_regressed
+                              ? "  REGRESSION (q/s + p95)"
+                          : qps_regressed     ? "  REGRESSION (q/s)"
+                          : latency_regressed ? "  REGRESSION (p95)"
+                                              : "";
+    std::printf("%-32s %12.0f %12.0f %8.2fx %11.1f %11.1f%s\n",
+                base.key.c_str(), base.qps, now->qps, ratio, base.p95_us,
+                now->p95_us, verdict);
+    if (qps_regressed || latency_regressed) ++regressions;
   }
   for (const auto& entry : fresh.results) {
     if (lookup(baseline, entry.key) == nullptr) {
-      std::printf("%-32s %12s %12.0f %9s  (new label)\n", entry.key.c_str(),
-                  "-", entry.qps, "-");
+      std::printf("%-32s %12s %12.0f %9s %11s %11.1f  (new label)\n",
+                  entry.key.c_str(), "-", entry.qps, "-", "-", entry.p95_us);
     }
   }
   if (regressions > 0) {
-    std::printf("bench_compare: %d label(s) regressed more than %.0f%%\n",
-                regressions, max_regression * 100.0);
+    std::printf("bench_compare: %d label(s) regressed beyond %.0f%% q/s "
+                "or %.0f%% p95 latency\n",
+                regressions, max_regression * 100.0,
+                max_latency_regression * 100.0);
     return 1;
   }
-  std::printf("bench_compare: no q/s regression beyond %.0f%%\n",
-              max_regression * 100.0);
+  std::printf("bench_compare: no regression beyond %.0f%% q/s / %.0f%% "
+              "p95 latency\n",
+              max_regression * 100.0, max_latency_regression * 100.0);
   return 0;
 }
