@@ -19,9 +19,18 @@
 // run's queue-wait reservoir (submit -> dispatch) so the regression
 // gate also watches time spent waiting rather than working.
 //
+//   *_serve_mixed      the mutable-write-path mode: 5% of submissions
+//                      are in-place overwrites (submit_update) riding
+//                      the same queue as the searches, which serialize
+//                      around them in submission order. q/s counts all
+//                      operations; percentiles are the wrapper's
+//                      end-to-end reservoir over both kinds. The gap to
+//                      *_serve_async is the price of write barriers.
+//
 // Usage: bench_serve [--json <path>] [rows] [dims] [queries]
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -69,9 +78,11 @@ benchjson::Record from_reservoir(
 struct ServeNumbers {
   double sync_qps = 0.0;
   double async_qps = 0.0;
+  double mixed_qps = 0.0;
   double sync_p50_us = 0.0;
   double roundtrip_p50_us = 0.0;
   double mean_batch = 0.0;
+  std::uint64_t writes = 0;
 };
 
 /// Measures one backend through all serve modes. `sync_index` and
@@ -150,6 +161,41 @@ ServeNumbers measure(const std::string& prefix, std::size_t rows,
     numbers.roundtrip_p50_us = roundtrip.latency_p50_us;
     records.push_back(roundtrip);
   }
+
+  // Mixed read/write: every 20th submission (5%) is an in-place
+  // overwrite through the same queue. Runs last — the writes mutate the
+  // backend, so the read-only modes above must already be done.
+  {
+    const auto writes =
+        data::random_int_vectors(requests.size() / 20 + 1, dims, 4, 3);
+    serve::AsyncOptions options;
+    options.queue_depth = requests.size();
+    options.max_batch = 32;
+    options.max_wait_us = 100;
+    serve::AsyncAmIndex async_index(async_backend, options);
+    std::vector<std::future<serve::SearchResponse>> search_futures;
+    std::vector<std::future<serve::WriteReceipt>> write_futures;
+    search_futures.reserve(requests.size());
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (i % 20 == 19) {
+        write_futures.push_back(
+            async_index.submit_update(i % rows, writes[i / 20]));
+      } else {
+        search_futures.push_back(async_index.submit(requests[i]));
+      }
+    }
+    for (auto& future : search_futures) (void)future.get();
+    for (auto& future : write_futures) (void)future.get();
+    const double wall = seconds_since(start);
+    const auto stats = async_index.stats();
+    numbers.mixed_qps =
+        wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
+    numbers.writes = stats.writes_served;
+    records.push_back(from_reservoir(prefix + "_serve_mixed", rows, dims,
+                                     stats.end_to_end_us,
+                                     numbers.mixed_qps));
+  }
   return numbers;
 }
 
@@ -195,8 +241,10 @@ int main(int argc, char** argv) {
   std::vector<benchjson::Record> records;
   const auto report = [](const char* name, const ServeNumbers& n) {
     std::printf("%s  sync %8.0f q/s   async %8.0f q/s (mean batch %.1f)   "
+                "mixed %8.0f op/s (%llu writes)   "
                 "dispatch overhead p50 %+.1f us\n",
-                name, n.sync_qps, n.async_qps, n.mean_batch,
+                name, n.sync_qps, n.async_qps, n.mean_batch, n.mixed_qps,
+                static_cast<unsigned long long>(n.writes),
                 n.roundtrip_p50_us - n.sync_p50_us);
   };
 

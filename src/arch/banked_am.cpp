@@ -71,6 +71,19 @@ BankedInsert BankedAm::insert(std::span<const int> vector) {
     throw std::invalid_argument("BankedAm::insert: vector.size() != dims");
   }
   BankedInsert receipt;
+  // Freed slots are reused before any growth: scan banks in order for a
+  // removed slot (the engine picks its lowest) so the physical footprint
+  // only grows when every slot is live.
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    if (banks_[b]->live_count() < banks_[b]->stored_count()) {
+      const auto result = banks_[b]->insert(vector);
+      receipt.cost = result.cost;
+      receipt.bank = b;
+      receipt.global_row = bank_offsets_[b] + result.row;
+      reconcile_intra_query();
+      return receipt;
+    }
+  }
   const bool need_new_bank =
       banks_.empty() || banks_.back()->stored_count() >= options_.bank_rows;
   if (need_new_bank) {
@@ -79,22 +92,78 @@ BankedInsert BankedAm::insert(std::span<const int> vector) {
     // of the concatenated database would feed the seed formula.
     const std::size_t start = total_rows_;
     auto bank = make_bank(start, banks_.size() + 1);
-    receipt.cost = bank->insert(vector);  // throws before any state change
+    receipt.cost = bank->insert(vector).cost;  // throws before state change
     banks_.push_back(std::move(bank));
     bank_offsets_.push_back(start);
-    if (banks_.size() == 2) {
-      // The first bank was created when it was the only one and kept its
-      // row fan-out; now that this layer fans banks, align it with what
-      // store() would have configured. Scheduling only — results are
-      // schedule-invariant.
-      banks_.front()->options().intra_query_min_devices = 0;
-    }
   } else {
-    receipt.cost = banks_.back()->insert(vector);
+    receipt.cost = banks_.back()->insert(vector).cost;
   }
   receipt.bank = banks_.size() - 1;
   receipt.global_row = total_rows_++;
+  reconcile_intra_query();
   return receipt;
+}
+
+BankedWrite BankedAm::remove(std::size_t global_row) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::remove: store() first");
+  }
+  if (global_row >= total_rows_) {
+    throw std::out_of_range("BankedAm::remove: row");
+  }
+  const std::size_t b = bank_of(global_row);
+  BankedWrite receipt;
+  receipt.cost = banks_[b]->remove(global_row - bank_offsets_[b]);
+  receipt.bank = b;
+  receipt.global_row = global_row;
+  reconcile_intra_query();
+  return receipt;
+}
+
+BankedWrite BankedAm::update(std::size_t global_row,
+                             std::span<const int> vector) {
+  if (banks_.empty()) {
+    throw std::logic_error("BankedAm::update: store() first");
+  }
+  if (global_row >= total_rows_) {
+    throw std::out_of_range("BankedAm::update: row");
+  }
+  if (vector.size() != dims()) {
+    throw std::invalid_argument("BankedAm::update: vector.size() != dims");
+  }
+  const std::size_t b = bank_of(global_row);
+  BankedWrite receipt;
+  receipt.cost = banks_[b]->update(global_row - bank_offsets_[b], vector);
+  receipt.bank = b;
+  receipt.global_row = global_row;
+  reconcile_intra_query();  // an update can revive an all-removed bank
+  return receipt;
+}
+
+std::size_t BankedAm::live_count() const noexcept {
+  std::size_t live = 0;
+  for (const auto& bank : banks_) live += bank->live_count();
+  return live;
+}
+
+std::size_t BankedAm::live_bank_count() const noexcept {
+  std::size_t live = 0;
+  for (const auto& bank : banks_) live += bank->live_count() > 0 ? 1 : 0;
+  return live;
+}
+
+void BankedAm::reconcile_intra_query() {
+  // A bank may fan its own rows exactly when it is effectively the only
+  // bank searching — otherwise this layer fans banks and row fan-out
+  // underneath would nest pools. make_bank applies the same rule by
+  // physical bank count at creation; live counts refine it as rows die
+  // and revive.
+  const std::size_t intra = live_bank_count() > 1
+                                ? 0
+                                : options_.engine.intra_query_min_devices;
+  for (auto& bank : banks_) {
+    bank->options().intra_query_min_devices = intra;
+  }
 }
 
 std::size_t BankedAm::global_index(std::size_t bank, std::size_t local) const {
@@ -111,7 +180,7 @@ std::size_t BankedAm::bank_of(std::size_t global_row) const {
 
 bool BankedAm::parallel_banks_worthwhile() const noexcept {
   const std::size_t threshold = options_.engine.intra_query_min_devices;
-  if (banks_.size() <= 1 || threshold == 0 || util::pool_width() <= 1 ||
+  if (live_bank_count() <= 1 || threshold == 0 || util::pool_width() <= 1 ||
       options_.engine.fidelity != core::SearchFidelity::kCircuit) {
     return false;
   }
@@ -132,6 +201,14 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   // execution order — fanning the banks across the pool is bit-identical
   // to the serial sweep.
   std::vector<core::SearchResult> bank_results(banks_.size());
+  // Banks whose rows are all removed stop firing: they run no search,
+  // draw no comparator noise, and are masked out of the global stage.
+  std::vector<std::uint8_t> bank_live(banks_.size());
+  std::size_t live_banks = 0;
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    bank_live[b] = banks_[b]->live_count() > 0 ? 1 : 0;
+    live_banks += bank_live[b];
+  }
   // Inside a query fan-out, force the banks' row loops serial so pools
   // never nest; otherwise the engines keep their own heuristic (multi-
   // bank engines have row fan-out disabled at store(), single-bank ones
@@ -139,6 +216,7 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   const std::optional<bool> bank_parallel_rows =
       in_query_pool ? std::optional<bool>(false) : std::nullopt;
   const auto run_bank = [&](std::size_t b) {
+    if (bank_live[b] == 0) return;
     bank_results[b] = banks_[b]->search_at(query, ordinal, bank_parallel_rows);
   };
   if (parallel_banks && banks_.size() > 1) {
@@ -152,20 +230,22 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   // Stage 2: a small global comparator over the bank winners.
   std::vector<double> winner_currents(banks_.size());
   for (std::size_t b = 0; b < banks_.size(); ++b) {
-    winner_currents[b] = bank_results[b].winner_current_a;
+    winner_currents[b] = bank_live[b] != 0
+                             ? bank_results[b].winner_current_a
+                             : std::numeric_limits<double>::infinity();
   }
   const auto decision =
       global_lta_.decide(winner_currents, banks_.front()->sense_unit(),
-                         nullptr);
+                         nullptr, bank_live);
   const auto& winner = bank_results[decision.winner];
   BankedSearchResult out;
   out.bank = decision.winner;
   out.nearest = global_index(decision.winner, winner.nearest);
   out.winner_current_a = decision.winner_current_a;
   // Global margin: the gap between the two best bank winners. A single
-  // bank has no second winner to compare against — pass its own margin
-  // through (the global stage over one input is an identity).
-  out.margin_a = banks_.size() > 1 ? decision.margin_a : winner.margin_a;
+  // competing bank has no second winner to compare against — pass its
+  // own margin through (the global stage over one input is an identity).
+  out.margin_a = live_banks > 1 ? decision.margin_a : winner.margin_a;
   out.nominal_distance = winner.nominal_distance;
   return out;
 }
@@ -188,6 +268,9 @@ BankedSearchResult BankedAm::search(std::span<const int> query) {
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search: store() first");
   }
+  if (live_count() == 0) {
+    throw std::logic_error("BankedAm::search: no live rows");
+  }
   check_query(query);
   return search_ordinal(query, query_serial_++, parallel_banks_worthwhile(),
                         /*in_query_pool=*/false);
@@ -198,6 +281,9 @@ BankedSearchResult BankedAm::search_at(
     std::optional<bool> parallel_banks) const {
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search_at: store() first");
+  }
+  if (live_count() == 0) {
+    throw std::logic_error("BankedAm::search_at: no live rows");
   }
   check_query(query);
   return search_ordinal(query, ordinal,
@@ -224,6 +310,9 @@ std::vector<BankedSearchResult> BankedAm::search_batch(
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search_batch: store() first");
   }
+  if (live_count() == 0) {
+    throw std::logic_error("BankedAm::search_batch: no live rows");
+  }
   for (const auto& q : queries) check_query(q);
   const std::uint64_t base = query_serial_;
   query_serial_ += queries.size();
@@ -235,6 +324,9 @@ std::vector<BankedSearchResult> BankedAm::search_batch_at(
     std::uint64_t base_ordinal) const {
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search_batch_at: store() first");
+  }
+  if (live_count() == 0) {
+    throw std::logic_error("BankedAm::search_batch_at: no live rows");
   }
   for (const auto& q : queries) check_query(q);
   return search_batch_validated(queries, base_ordinal);
@@ -279,7 +371,7 @@ std::vector<BankedSearchResult> BankedAm::search_k_hits(
   if (banks_.empty()) {
     throw std::logic_error("BankedAm::search_k_hits: store() first");
   }
-  if (k == 0 || k > total_rows_) {
+  if (k == 0 || k > live_count()) {
     throw std::invalid_argument("BankedAm::search_k: bad k");
   }
   check_query(query);
@@ -299,12 +391,19 @@ std::vector<BankedSearchResult> BankedAm::search_k_hits(
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }
   std::vector<double> all;
+  std::vector<std::uint8_t> live;
   all.reserve(total_rows_);
-  for (const auto& currents : per_bank) {
-    all.insert(all.end(), currents.begin(), currents.end());
+  live.reserve(total_rows_);
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    all.insert(all.end(), per_bank[b].begin(), per_bank[b].end());
+    const auto mask = banks_[b]->live_mask();
+    live.insert(live.end(), mask.begin(), mask.end());
   }
+  // The concatenated post-decoder mask: removed rows are skipped, not
+  // just driven to +infinity, so the decision sequence matches a fresh
+  // store() of only the live rows.
   const auto decisions = global_lta_.decide_k_detailed(
-      all, banks_.front()->sense_unit(), k, nullptr);
+      all, banks_.front()->sense_unit(), k, nullptr, live);
   std::vector<BankedSearchResult> hits;
   hits.reserve(decisions.size());
   for (const auto& decision : decisions) {

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/ferex.hpp"
@@ -46,12 +47,15 @@ struct BankedSearchResult {
   int nominal_distance = 0;         ///< encoding-level distance of winner
 };
 
-/// Receipt for one streaming insert.
-struct BankedInsert {
-  std::size_t global_row = 0;       ///< where the vector landed
-  std::size_t bank = 0;             ///< bank that absorbed it
-  circuit::WriteCost cost{};        ///< write cost of programming the row
+/// Receipt for one write-path operation (insert / remove / update).
+struct BankedWrite {
+  std::size_t global_row = 0;       ///< the row written (or erased)
+  std::size_t bank = 0;             ///< bank holding it
+  circuit::WriteCost cost{};        ///< write cost of the operation
 };
+
+/// Historical name for the insert receipt.
+using BankedInsert = BankedWrite;
 
 /// A database of vectors partitioned across FeReX macros.
 class BankedAm {
@@ -64,18 +68,51 @@ class BankedAm {
   /// Stores the database, partitioning rows across banks.
   void store(const std::vector<std::vector<int>>& database);
 
-  /// Streaming insert: appends one vector to the last bank, growing a
-  /// fresh bank on demand when it is full (banks stay at most bank_rows
-  /// tall). Requires configure(); the first insert establishes the
-  /// dimensionality. Searches after N inserts are bit-identical to a
-  /// fresh store() of the concatenated database — bank partitioning,
-  /// per-bank seeds, and device variation all follow the same formulas.
-  /// Returns where the row landed and its write cost. Throws without
-  /// mutating on a wrong-length or out-of-alphabet vector.
+  /// Streaming insert. Freed (removed) slots are reused before any
+  /// growth — banks are scanned in order for a free slot, and only when
+  /// every slot is live does the vector append to the last bank or grow
+  /// a fresh bank on demand (banks stay at most bank_rows tall).
+  /// Requires configure(); the first insert establishes the
+  /// dimensionality. Append searches are bit-identical to a fresh
+  /// store() of the concatenated database — bank partitioning, per-bank
+  /// seeds, and device variation all follow the same formulas; a reused
+  /// slot keeps its own device variation, matching a fresh store() of
+  /// the same physical layout. Returns where the row landed and its
+  /// write cost. Throws without mutating on a wrong-length or
+  /// out-of-alphabet vector.
   BankedInsert insert(std::span<const int> vector);
 
+  /// Deletes one row by global index: routes to the owning bank's
+  /// engine, which erases the slot and masks it in the post-decoder (it
+  /// can never win a global LTA round; a bank whose rows are all removed
+  /// stops firing entirely). The freed slot is the first insert()
+  /// reuses. Returns the erase cost. Throws std::out_of_range on a bad
+  /// index, std::logic_error when the row is already removed.
+  BankedWrite remove(std::size_t global_row);
+
+  /// Overwrites one row in place by global index (erase + program-and-
+  /// verify on a live slot, program-only on a removed one, which becomes
+  /// live again). Validates before mutating.
+  BankedWrite update(std::size_t global_row, std::span<const int> vector);
+
   std::size_t bank_count() const noexcept { return banks_.size(); }
+
+  /// The engine backing one bank (throws std::out_of_range) — cost
+  /// models, per-bank liveness, and scheduling introspection.
+  const core::FerexEngine& bank(std::size_t b) const {
+    if (b >= banks_.size()) throw std::out_of_range("BankedAm::bank");
+    return *banks_[b];
+  }
+
+  /// Physical slots across all banks (live + removed).
   std::size_t stored_count() const noexcept { return total_rows_; }
+
+  /// Rows that compete in searches, summed across banks.
+  std::size_t live_count() const noexcept;
+
+  /// Banks holding at least one live row (an all-removed bank stops
+  /// firing until a slot is revived).
+  std::size_t live_bank_count() const noexcept;
 
   /// Logical dimensionality of the stored vectors (0 before any row).
   std::size_t dims() const noexcept {
@@ -167,12 +204,19 @@ class BankedAm {
   std::unique_ptr<core::FerexEngine> make_bank(std::size_t start,
                                                std::size_t bank_count) const;
   void check_query(std::span<const int> query) const;
-  /// Work-size gate for fanning banks across the pool: multiple banks,
-  /// multiple hardware threads, circuit fidelity, and total devices
-  /// across banks at least the engine's intra_query_min_devices — the
-  /// same heuristic the engine applies to its rows, so tiny banked
-  /// configs never pay thread-spawn costs that dwarf the solve work.
+  /// Work-size gate for fanning banks across the pool: multiple banks
+  /// holding live rows, multiple hardware threads, circuit fidelity, and
+  /// total devices across banks at least the engine's
+  /// intra_query_min_devices — the same heuristic the engine applies to
+  /// its rows, so tiny banked configs never pay thread-spawn costs that
+  /// dwarf the solve work.
   bool parallel_banks_worthwhile() const noexcept;
+  /// Re-derives every bank engine's intra-query parallelism setting from
+  /// the live bank count: with more than one live bank this layer fans
+  /// banks (row fan-out would nest pools, so it is disabled); back down
+  /// at one live bank the engines regain the configured row heuristic.
+  /// Scheduling only — results are schedule-invariant.
+  void reconcile_intra_query();
   /// `in_query_pool` marks calls made from inside a parallel_for over
   /// queries: bank row loops are then forced serial so pools never nest.
   /// Outside a pool the per-bank engines keep their own row heuristic.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "device/preisach.hpp"
@@ -81,6 +82,8 @@ CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
   // Erased state: highest threshold (nothing conducts until programmed).
   vth_.assign(devices, config_.fet.vth_max_v);
   stored_values_.assign(rows * dims, 0);
+  live_.assign(rows, 1);
+  live_rows_ = rows;
 
   subvt_alpha_ = std::log(10.0) / (config_.fet.ss_mv_per_dec * 1e-3);
   inv_r_.resize(devices);
@@ -174,8 +177,41 @@ void CrossbarArray::append_row(std::span<const int> values, util::Rng& rng) {
     vth_factor_[d] = std::exp(-vth_[d] * subvt_alpha_);
   }
   stored_values_.resize((rows_ + 1) * dims_, 0);
+  live_.push_back(1);
+  ++live_rows_;
   ++rows_;
   program_row(rows_ - 1, values);
+}
+
+void CrossbarArray::erase_row(std::size_t row) {
+  if (row >= rows_) throw std::out_of_range("erase_row: row");
+  if (live_[row] == 0) {
+    throw std::logic_error("erase_row: row already erased");
+  }
+  // Back to the exact constructor state: vth_max with no D2D offset (the
+  // offset perturbs where programming lands, not the saturated erased
+  // polarization), so an erase-then-reprogram sequence is bit-identical
+  // to programming a never-touched slot.
+  const std::size_t per_row = dims_ * fefets_per_cell_;
+  const std::size_t base = row * per_row;
+  for (std::size_t j = 0; j < per_row; ++j) {
+    vth_[base + j] = config_.fet.vth_max_v;
+    vth_factor_[base + j] = std::exp(-vth_[base + j] * subvt_alpha_);
+  }
+  live_[row] = 0;
+  --live_rows_;
+}
+
+void CrossbarArray::overwrite_row(std::size_t row,
+                                  std::span<const int> values) {
+  // program_row validates the index and every value before its first
+  // write, so a throwing overwrite leaves the slot (and its liveness)
+  // untouched.
+  program_row(row, values);
+  if (live_[row] == 0) {
+    live_[row] = 1;
+    ++live_rows_;
+  }
 }
 
 CrossbarArray::RowSolve CrossbarArray::solve_row(
@@ -252,6 +288,13 @@ std::vector<double> CrossbarArray::search(std::span<const int> query,
   std::vector<double> currents(rows_);
   std::vector<RowSolve> solves(rows_);
   const auto run_row = [&](std::size_t row) {
+    if (live_[row] == 0) {
+      // Erased row: branch disabled in the post-decoder. No solve runs
+      // (and none is counted); the +infinity sentinel can never win a
+      // minimum-current comparison even for callers that ignore masks.
+      currents[row] = std::numeric_limits<double>::infinity();
+      return;
+    }
     solves[row] = solve_row(row, vgs, vds, gate_factors);
     currents[row] = solves[row].current_a;
   };
@@ -268,7 +311,7 @@ std::vector<double> CrossbarArray::search(std::span<const int> query,
     iterations += static_cast<std::uint64_t>(solve.iterations);
     non_converged += solve.converged ? 0 : 1;
   }
-  stat_solves_.fetch_add(rows_, std::memory_order_relaxed);
+  stat_solves_.fetch_add(live_rows_, std::memory_order_relaxed);
   stat_iterations_.fetch_add(iterations, std::memory_order_relaxed);
   stat_non_converged_.fetch_add(non_converged, std::memory_order_relaxed);
   return currents;
@@ -313,6 +356,11 @@ std::vector<double> CrossbarArray::search_reference(
   const double source_res = source_res_ohm();
   std::vector<double> currents(rows_);
   for (std::size_t row = 0; row < rows_; ++row) {
+    if (live_[row] == 0) {
+      // Mirror the optimized kernel's disabled-branch sentinel exactly.
+      currents[row] = std::numeric_limits<double>::infinity();
+      continue;
+    }
     const std::size_t base = row * per_row;
     const auto total_current = [&](double v_scl) {
       double sum = 0.0;
@@ -369,6 +417,13 @@ std::vector<int> CrossbarArray::nominal_distances(
   }
   std::vector<int> out(rows_, 0);
   for (std::size_t row = 0; row < rows_; ++row) {
+    if (live_[row] == 0) {
+      // Disabled branch: the integer-domain analogue of search()'s
+      // +infinity sentinel, so a caller ignoring the mask never sees an
+      // erased row's stale values as a finite distance.
+      out[row] = std::numeric_limits<int>::max();
+      continue;
+    }
     const int* const stored = stored_values_.data() + row * dims_;
     int total = 0;
     for (std::size_t dim = 0; dim < dims_; ++dim) {
@@ -384,6 +439,10 @@ std::vector<int> CrossbarArray::nominal_distances_reference(
   validate_nominal_query(query);
   std::vector<int> out(rows_, 0);
   for (std::size_t row = 0; row < rows_; ++row) {
+    if (live_[row] == 0) {
+      out[row] = std::numeric_limits<int>::max();
+      continue;
+    }
     int total = 0;
     for (std::size_t dim = 0; dim < dims_; ++dim) {
       total += encoding_.nominal_current_reference(

@@ -112,6 +112,33 @@ class CrossbarArray {
   /// Validates before mutating: a throwing call leaves the array as-is.
   void append_row(std::span<const int> values, util::Rng& rng);
 
+  /// Erases one row back to the constructor's erased state (every device
+  /// at vth_max, nothing conducting) and masks it in the post-decoder:
+  /// searches skip it (its reported current is +infinity) and the LTA
+  /// never considers it. Erasing rather than merely masking matters
+  /// physically — an erased row's near-zero current would otherwise win
+  /// every LTA round. Throws std::out_of_range on a bad row index,
+  /// std::logic_error when the row is already erased.
+  void erase_row(std::size_t row);
+
+  /// Reprograms one slot in place (program_row semantics — the device
+  /// variation stays the slot's own) and marks it live again, whether it
+  /// currently holds data or was erased. Validates before mutating.
+  void overwrite_row(std::size_t row, std::span<const int> values);
+
+  /// True when the row competes in searches (not erased).
+  bool row_live(std::size_t row) const {
+    if (row >= rows_) throw std::out_of_range("row_live: row");
+    return live_[row] != 0;
+  }
+
+  /// Rows currently live (rows() counts physical slots).
+  std::size_t live_rows() const noexcept { return live_rows_; }
+
+  /// The post-decoder row mask (1 = live), indexed by physical row —
+  /// what the LTA's masked decide overloads consume.
+  std::span<const std::uint8_t> live_mask() const noexcept { return live_; }
+
   /// Stored element value of a row (what was programmed).
   int stored_value(std::size_t row, std::size_t dim) const {
     return stored_values_[row * dims_ + dim];
@@ -137,7 +164,9 @@ class CrossbarArray {
 
   /// nominal_distance for every row at once: validates the query a single
   /// time, resolves the per-dim LUT rows once, then gathers over the
-  /// contiguous stored values — the nominal-fidelity hot path.
+  /// contiguous stored values — the nominal-fidelity hot path. Erased
+  /// rows report INT_MAX (the integer analogue of search()'s +infinity
+  /// disabled-branch sentinel).
   std::vector<int> nominal_distances(std::span<const int> query) const;
 
   /// Reference implementation of nominal_distances() (per-FeFET walk via
@@ -195,6 +224,8 @@ class CrossbarArray {
   std::vector<double> resistances_;   ///< per-device series R (with spread)
   std::vector<double> vth_;           ///< programmed Vth (incl. offset)
   std::vector<int> stored_values_;    ///< per (row, dim) element value
+  std::vector<std::uint8_t> live_;    ///< post-decoder row mask (1 = live)
+  std::size_t live_rows_ = 0;         ///< rows with live_ == 1
 
   // --- cached hot-path tables -------------------------------------------
   double subvt_alpha_ = 0.0;          ///< ln10 / SS [1/V]

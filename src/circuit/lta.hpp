@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,8 +45,17 @@ class LtaCircuit {
 
   /// Picks the minimum-current row. `unit_current_a` scales the offset
   /// noise; pass rng = nullptr for an ideal (noiseless) decision.
+  ///
+  /// `live` is the post-decoder row mask (nonzero = row branch enabled):
+  /// a masked row's comparator branch is physically disconnected, so it
+  /// is skipped outright — it can never win and, crucially, it draws no
+  /// comparator-offset noise, leaving the live rows' noise sequence
+  /// exactly what it would be over an array holding only the live rows.
+  /// An empty mask means every row is live; otherwise the mask must
+  /// match the currents in length and enable at least one row.
   LtaDecision decide(std::span<const double> row_currents_a,
-                     double unit_current_a, util::Rng* rng) const;
+                     double unit_current_a, util::Rng* rng,
+                     std::span<const std::uint8_t> live = {}) const;
 
   /// k-NN extension: repeatedly applies the LTA, masking previous
   /// winners (the paper's LTA + post-decoder supports NN search; k > 1 is
@@ -53,7 +63,9 @@ class LtaCircuit {
   /// A shim over decide_k_detailed — bit-identical noise draws.
   std::vector<std::size_t> decide_k(std::span<const double> row_currents_a,
                                     double unit_current_a, std::size_t k,
-                                    util::Rng* rng) const;
+                                    util::Rng* rng,
+                                    std::span<const std::uint8_t> live =
+                                        {}) const;
 
   /// decide_k with the full per-round decision: each entry carries the
   /// round's winner, its sensed current, and its margin to the best
@@ -62,9 +74,15 @@ class LtaCircuit {
   /// decide() over the same currents and rng state; on the final round
   /// with every other row masked the margin is +infinity (nothing left
   /// to compare against).
+  ///
+  /// `live` (see decide) bounds k: 1 <= k <= live rows. Round winners
+  /// are masked by driving their current to +infinity while staying
+  /// live — a disabled-but-drawn branch, the pre-mutation behaviour —
+  /// whereas dead rows are skipped with no draw at all.
   std::vector<LtaDecision> decide_k_detailed(
       std::span<const double> row_currents_a, double unit_current_a,
-      std::size_t k, util::Rng* rng) const;
+      std::size_t k, util::Rng* rng,
+      std::span<const std::uint8_t> live = {}) const;
 
   /// Winner-take-all dual: picks the MAXIMUM-current row. Used when the
   /// row current encodes similarity instead of distance (best-match /

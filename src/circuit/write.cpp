@@ -51,6 +51,22 @@ WriteCost WriteDriver::program_row(std::span<const double> target_vths) const {
   return cost;
 }
 
+WriteCost WriteDriver::erase_row(std::size_t row_cells) const {
+  WriteCost cost;
+  if (row_cells == 0) return cost;
+  const double v_write = params_.device.write_v;
+  const double cells = static_cast<double>(row_cells);
+  const double line_cap = params_.wordline_cap_f_per_cell * cells;
+  cost.pulses = 1;  // one row-wide saturating pulse, devices in parallel
+  cost.latency_s = params_.device.pulse_width_s;
+  // Full polarization reversal (|dP| = 2) is the worst case a device can
+  // pay; a partially-programmed device pays less, but the driver sizes
+  // (and we charge) for the bound.
+  cost.energy_j = (params_.gate_cap_f * cells + line_cap) * v_write * v_write +
+                  cells * switching_energy_j(2.0, v_write, params_.gate_cap_f);
+  return cost;
+}
+
 DisturbReport WriteDriver::disturb_after(std::size_t cycles) const {
   DisturbReport report;
   report.inhibit_voltage_v = params_.device.write_v / 2.0;

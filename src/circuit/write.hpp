@@ -57,6 +57,14 @@ class WriteDriver {
   /// the number of devices sharing the row's wordline load.
   WriteCost program_row(std::span<const double> target_vths) const;
 
+  /// Cost of erasing one row of `row_cells` devices: a single saturating
+  /// row-wide erase pulse (all gates driven together, no verify read —
+  /// the erased state is the saturated polarization, not a trimmed
+  /// level), charging every gate plus the shared line and paying
+  /// worst-case full polarization reversal per device. This is the
+  /// erase half of an overwrite; program_row is the other half.
+  WriteCost erase_row(std::size_t row_cells) const;
+
   /// Simulates `cycles` full-row writes with the half-voltage inhibit
   /// scheme and reports the worst-case disturb on unselected victims.
   DisturbReport disturb_after(std::size_t cycles) const;

@@ -1,6 +1,7 @@
 #include "core/ferex.hpp"
 #include <algorithm>
 
+#include <limits>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -62,6 +63,8 @@ void FerexEngine::store(std::vector<std::vector<int>> database) {
     }
   }
   database_ = std::move(database);
+  live_.assign(database_.size(), 1);
+  live_rows_ = database_.size();
   if (encoding_) rebuild_array();
 }
 
@@ -82,6 +85,12 @@ void FerexEngine::rebuild_array() {
       database_.size(), physical_dims, *encoding_, ladder, options_.circuit,
       rng_);
   for (std::size_t r = 0; r < database_.size(); ++r) {
+    if (live_[r] == 0) {
+      // Removed slot: the fresh array already holds it erased; re-apply
+      // the post-decoder mask (nothing is programmed).
+      array_->erase_row(r);
+      continue;
+    }
     if (codec_) {
       array_->program_row(r, codec_->expand(database_[r]));
     } else {
@@ -90,7 +99,7 @@ void FerexEngine::rebuild_array() {
   }
 }
 
-circuit::WriteCost FerexEngine::insert(std::span<const int> vector) {
+EngineInsert FerexEngine::insert(std::span<const int> vector) {
   if (!encoding_) {
     throw std::logic_error("FerexEngine::insert: configure() first");
   }
@@ -110,7 +119,18 @@ circuit::WriteCost FerexEngine::insert(std::span<const int> vector) {
       throw std::out_of_range("FerexEngine::insert: value out of range");
     }
   }
+  // Reuse the lowest freed slot before growing: reviving a removed slot
+  // is exactly update() on it — already erased, so the receipt charges
+  // programming only — and keeps the slot's own device variation, so
+  // searches equal a fresh store() of the same layout.
+  if (live_rows_ < database_.size()) {
+    std::size_t slot = 0;
+    while (live_[slot] != 0) ++slot;
+    return {slot, update(slot, vector)};
+  }
   database_.emplace_back(vector.begin(), vector.end());
+  live_.push_back(1);
+  ++live_rows_;
   try {
     if (database_.size() == 1) {
       // First row establishes the geometry; building the one-row array
@@ -126,9 +146,70 @@ circuit::WriteCost FerexEngine::insert(std::span<const int> vector) {
     // first-row rebuild must not leave a phantom row behind a null
     // array, where a retry would take the append branch).
     database_.pop_back();
+    live_.pop_back();
+    --live_rows_;
     throw;
   }
-  return row_write_cost(database_.size() - 1);
+  const std::size_t row = database_.size() - 1;
+  return {row, row_write_cost(row)};
+}
+
+circuit::WriteCost FerexEngine::remove(std::size_t row) {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::remove: configure() + store() first");
+  }
+  if (row >= database_.size()) {
+    throw std::out_of_range("FerexEngine::remove: row");
+  }
+  if (live_[row] == 0) {
+    throw std::logic_error("FerexEngine::remove: row already removed");
+  }
+  array_->erase_row(row);
+  live_[row] = 0;
+  --live_rows_;
+  return row_erase_cost();
+}
+
+circuit::WriteCost FerexEngine::update(std::size_t row,
+                                       std::span<const int> vector) {
+  if (!array_) {
+    throw std::logic_error("FerexEngine::update: configure() + store() first");
+  }
+  if (row >= database_.size()) {
+    throw std::out_of_range("FerexEngine::update: row");
+  }
+  if (vector.size() != database_.front().size()) {
+    throw std::invalid_argument("FerexEngine::update: vector.size() != dims");
+  }
+  const std::size_t alphabet =
+      codec_ ? codec_->logical_levels() : encoding_->stored_count();
+  for (const int v : vector) {
+    if (v < 0 || static_cast<std::size_t>(v) >= alphabet) {
+      throw std::out_of_range("FerexEngine::update: value out of range");
+    }
+  }
+  const bool was_live = live_[row] != 0;
+  if (codec_) {
+    array_->overwrite_row(row, codec_->expand(vector));
+  } else {
+    array_->overwrite_row(row, vector);
+  }
+  database_[row].assign(vector.begin(), vector.end());
+  if (!was_live) {
+    live_[row] = 1;
+    ++live_rows_;
+  }
+  // Erase + program-and-verify: a live slot pays the erase pulse before
+  // reprogramming; a removed slot is already erased and pays only the
+  // programming half (the erase was charged by remove()).
+  circuit::WriteCost cost = row_write_cost(row);
+  if (was_live) {
+    const auto erase = row_erase_cost();
+    cost.pulses += erase.pulses;
+    cost.energy_j += erase.energy_j;
+    cost.latency_s += erase.latency_s;
+  }
+  return cost;
 }
 
 util::Rng FerexEngine::query_rng(std::uint64_t ordinal) const noexcept {
@@ -151,10 +232,14 @@ std::vector<SearchResult> FerexEngine::search_hits_expanded(
     bool parallel_rows) const {
   std::vector<SearchResult> hits;
   hits.reserve(k);
+  // The post-decoder mask rides along on every decision: removed rows
+  // are skipped without a comparator-noise draw, so live rows sense
+  // exactly what they would in an array holding only the live rows.
+  const auto live = array_->live_mask();
   if (options_.fidelity == SearchFidelity::kCircuit) {
     const auto currents = array_->search(query, parallel_rows);
-    const auto decisions =
-        lta_.decide_k_detailed(currents, array_->unit_current_a(), k, rng);
+    const auto decisions = lta_.decide_k_detailed(
+        currents, array_->unit_current_a(), k, rng, live);
     for (const auto& decision : decisions) {
       SearchResult hit;
       hit.nearest = decision.winner;
@@ -167,7 +252,8 @@ std::vector<SearchResult> FerexEngine::search_hits_expanded(
     // Nominal fidelity: exact integer distance arithmetic, ideal LTA.
     const auto distances = array_->nominal_distances(query);
     const std::vector<double> currents(distances.begin(), distances.end());
-    const auto decisions = lta_.decide_k_detailed(currents, 1.0, k, nullptr);
+    const auto decisions = lta_.decide_k_detailed(currents, 1.0, k, nullptr,
+                                                  live);
     for (const auto& decision : decisions) {
       SearchResult hit;
       hit.nearest = decision.winner;
@@ -189,6 +275,9 @@ SearchResult FerexEngine::search_expanded(std::span<const int> query,
 SearchResult FerexEngine::search(std::span<const int> query) {
   if (!array_) {
     throw std::logic_error("FerexEngine::search: configure() + store() first");
+  }
+  if (live_rows_ == 0) {
+    throw std::logic_error("FerexEngine::search: no live rows");
   }
   // Validate before consuming an ordinal, so a rejected query leaves the
   // noise-stream sequence exactly where it was (batch does the same).
@@ -238,6 +327,9 @@ SearchResult FerexEngine::search_at(std::span<const int> query,
     throw std::logic_error(
         "FerexEngine::search_at: configure() + store() first");
   }
+  if (live_rows_ == 0) {
+    throw std::logic_error("FerexEngine::search_at: no live rows");
+  }
   check_query(query);
   return search_validated(query, ordinal,
                           parallel_rows.value_or(intra_query_parallel()));
@@ -250,7 +342,7 @@ std::vector<SearchResult> FerexEngine::search_hits_at(
     throw std::logic_error(
         "FerexEngine::search_hits_at: configure() + store() first");
   }
-  if (k == 0 || k > database_.size()) {
+  if (k == 0 || k > live_rows_) {
     throw std::invalid_argument("FerexEngine::search_hits_at: bad k");
   }
   check_query(query);
@@ -274,6 +366,9 @@ std::vector<SearchResult> FerexEngine::search_batch(
     throw std::logic_error(
         "FerexEngine::search_batch: configure() + store() first");
   }
+  if (live_rows_ == 0) {
+    throw std::logic_error("FerexEngine::search_batch: no live rows");
+  }
   // Validate before consuming ordinals, so a rejected batch leaves the
   // noise-stream sequence exactly where it was.
   for (const auto& q : queries) check_query(q);
@@ -288,6 +383,9 @@ std::vector<SearchResult> FerexEngine::search_batch_at(
   if (!array_) {
     throw std::logic_error(
         "FerexEngine::search_batch_at: configure() + store() first");
+  }
+  if (live_rows_ == 0) {
+    throw std::logic_error("FerexEngine::search_batch_at: no live rows");
   }
   for (const auto& q : queries) check_query(q);
   return search_batch_validated(queries, base_ordinal);
@@ -330,8 +428,9 @@ std::vector<std::size_t> FerexEngine::search_k(std::span<const int> query,
     throw std::logic_error("FerexEngine::search_k: configure() + store() first");
   }
   // k joins the query in the validated-before-any-ordinal set (the seed
-  // threw from decide_k only after consuming the ordinal).
-  if (k == 0 || k > database_.size()) {
+  // threw from decide_k only after consuming the ordinal). Bounded by
+  // the live rows: removed slots cannot be hits.
+  if (k == 0 || k > live_rows_) {
     throw std::invalid_argument("FerexEngine::search_k: bad k");
   }
   check_query(query);
@@ -355,7 +454,7 @@ std::vector<std::size_t> FerexEngine::search_k_at(std::span<const int> query,
     throw std::logic_error(
         "FerexEngine::search_k_at: configure() + store() first");
   }
-  if (k == 0 || k > database_.size()) {
+  if (k == 0 || k > live_rows_) {
     throw std::invalid_argument("FerexEngine::search_k_at: bad k");
   }
   check_query(query);
@@ -377,7 +476,15 @@ std::vector<double> FerexEngine::row_currents(std::span<const int> query) const 
     return array_->search(query, intra_query_parallel());
   }
   const auto distances = array_->nominal_distances(query);
-  return std::vector<double>(distances.begin(), distances.end());
+  std::vector<double> currents(distances.begin(), distances.end());
+  // The circuit path's disabled-branch sentinel, mirrored: a removed
+  // slot's stale stored values must never look like a finite distance.
+  for (std::size_t r = 0; r < currents.size(); ++r) {
+    if (live_[r] == 0) {
+      currents[r] = std::numeric_limits<double>::infinity();
+    }
+  }
+  return currents;
 }
 
 double FerexEngine::sense_unit() const {
@@ -448,12 +555,21 @@ circuit::SearchCost FerexEngine::search_cost() const {
   return model.search_op(spec);
 }
 
-circuit::WriteCost FerexEngine::row_write_cost(std::size_t row) const {
+circuit::WriteDriver FerexEngine::write_driver() const {
   circuit::WriteDriverParams params;
   params.device.vth_low_v = options_.circuit.fet.vth_min_v;
   params.device.vth_high_v = options_.circuit.fet.vth_max_v;
   params.vth_tolerance_v = options_.circuit.program_tolerance_v;
-  const circuit::WriteDriver driver(params);
+  return circuit::WriteDriver(params);
+}
+
+circuit::WriteCost FerexEngine::row_erase_cost() const {
+  return write_driver().erase_row(array_->dims() *
+                                  array_->fefets_per_cell());
+}
+
+circuit::WriteCost FerexEngine::row_write_cost(std::size_t row) const {
+  const circuit::WriteDriver driver = write_driver();
 
   std::vector<double> targets;
   targets.reserve(array_->dims() * array_->fefets_per_cell());
@@ -474,6 +590,7 @@ circuit::WriteCost FerexEngine::program_cost() const {
   }
   circuit::WriteCost total;
   for (std::size_t r = 0; r < array_->rows(); ++r) {
+    if (live_[r] == 0) continue;  // removed slots hold no programmed data
     const auto row_cost = row_write_cost(r);
     total.pulses += row_cost.pulses;
     total.energy_j += row_cost.energy_j;

@@ -70,6 +70,13 @@ struct SearchResult {
   int nominal_distance = 0;           ///< encoding-level distance of winner
 };
 
+/// Receipt for one streaming insert: the physical slot the vector landed
+/// in and the write cost of programming it.
+struct EngineInsert {
+  std::size_t row = 0;
+  circuit::WriteCost cost{};
+};
+
 class FerexEngine {
  public:
   explicit FerexEngine(FerexOptions options = {});
@@ -100,17 +107,35 @@ class FerexEngine {
   /// [0, 2^bits)). Replaces any previous contents and programs the array.
   void store(std::vector<std::vector<int>> database);
 
-  /// Streaming insert: appends one vector to the live array (program_row
-  /// on a grown array — no re-store of existing rows) and returns the
-  /// write cost of programming the new row. Requires configure(); the
-  /// first insert on an empty engine establishes the dimensionality.
-  /// Searches after N inserts are bit-identical to a fresh store() of the
-  /// concatenated database (the new row's device variation continues the
-  /// engine's variation stream exactly where a larger store() would have
-  /// drawn it). A later configure() re-encodes inserted rows like any
-  /// stored row. Throws without mutating on a wrong-length or
-  /// out-of-alphabet vector.
-  circuit::WriteCost insert(std::span<const int> vector);
+  /// Streaming insert. Reuses the lowest freed (removed) slot first —
+  /// the slot is already erased, so the write pays programming only and
+  /// the array keeps its physical footprint — and only otherwise appends
+  /// a row (program_row on a grown array — no re-store of existing
+  /// rows). Requires configure(); the first insert on an empty engine
+  /// establishes the dimensionality. Append searches are bit-identical
+  /// to a fresh store() of the concatenated database (the new row's
+  /// device variation continues the engine's variation stream exactly
+  /// where a larger store() would have drawn it); a reused slot keeps
+  /// its own device variation, so the result equals a fresh store() of
+  /// the same physical layout. A later configure() re-encodes inserted
+  /// rows like any stored row. Throws without mutating on a wrong-length
+  /// or out-of-alphabet vector.
+  EngineInsert insert(std::span<const int> vector);
+
+  /// Deletes one row: erases the slot (a single row-wide erase pulse,
+  /// whose WriteCost is returned) and masks it in the post-decoder, so
+  /// it can never win an LTA round — live rows' comparator-noise draws
+  /// are exactly those of an array holding only the live rows. The slot
+  /// stays allocated and is the first insert() reuses. Throws
+  /// std::out_of_range on a bad index, std::logic_error when the row is
+  /// already removed.
+  circuit::WriteCost remove(std::size_t row);
+
+  /// Overwrites one slot in place — erase (charged only when the slot
+  /// held live data; a removed slot is already erased) plus
+  /// program-and-verify, mirroring program_cost's per-row accounting —
+  /// and marks it live. Validates the vector before mutating.
+  circuit::WriteCost update(std::size_t row, std::span<const int> vector);
 
   /// Nearest-neighbor search. Requires configure() and store(). A thin
   /// shim over the const ordinal-addressed core (search_hits_at) that
@@ -220,7 +245,25 @@ class FerexEngine {
   circuit::WriteCost program_cost() const;
 
   bool configured() const noexcept { return encoding_.has_value(); }
+
+  /// Physical slots (live + removed). k and search validation are
+  /// against live_count(); removed slots are reused by insert().
   std::size_t stored_count() const noexcept { return database_.size(); }
+
+  /// Rows that compete in searches (stored_count() minus removed slots).
+  std::size_t live_count() const noexcept { return live_rows_; }
+
+  /// True when the slot holds live data (throws std::out_of_range on a
+  /// bad index).
+  bool row_live(std::size_t row) const {
+    if (row >= live_.size()) throw std::out_of_range("row_live: row");
+    return live_[row] != 0;
+  }
+
+  /// Per-slot post-decoder mask (1 = live) — what multi-macro layers
+  /// concatenate for their global masked LTA stages.
+  std::span<const std::uint8_t> live_mask() const noexcept { return live_; }
+
   std::size_t dims() const noexcept {
     return database_.empty() ? 0 : database_.front().size();
   }
@@ -235,6 +278,7 @@ class FerexEngine {
   const circuit::CrossbarArray* array() const noexcept { return array_.get(); }
 
   FerexOptions& options() noexcept { return options_; }
+  const FerexOptions& options() const noexcept { return options_; }
 
  private:
   void rebuild_array();
@@ -268,8 +312,13 @@ class FerexEngine {
   std::vector<SearchResult> search_batch_validated(
       std::span<const std::vector<int>> queries,
       std::uint64_t base_ordinal) const;
-  /// Erase + program-and-verify cost of one already-programmed row.
+  /// Program-and-verify cost of one already-programmed row.
   circuit::WriteCost row_write_cost(std::size_t row) const;
+  /// Cost of the row-wide erase pulse (remove, and the erase half of an
+  /// overwrite of live data).
+  circuit::WriteCost row_erase_cost() const;
+  /// The write driver every per-row cost model shares.
+  circuit::WriteDriver write_driver() const;
 
   FerexOptions options_;
   util::Rng rng_;
@@ -281,6 +330,9 @@ class FerexEngine {
   std::optional<encode::ValueCodec> codec_;
   encode::EncoderReport report_{};
   std::vector<std::vector<int>> database_;
+  std::vector<std::uint8_t> live_;  ///< per-slot liveness (1 = live);
+                                    ///< survives configure() rebuilds
+  std::size_t live_rows_ = 0;
   std::unique_ptr<circuit::CrossbarArray> array_;
   circuit::LtaCircuit lta_;
 };

@@ -6,14 +6,58 @@
 
 namespace ferex::serve {
 
+void AmIndex::check_mutable(const char* op) const {
+  if (async_owned_.load(std::memory_order_acquire)) {
+    throw MutationWhileServed(
+        std::string("AmIndex::") + op +
+        ": index is owned by a live AsyncAmIndex — submit the write "
+        "through it (or shut it down first)");
+  }
+}
+
+void AmIndex::configure(csp::DistanceMetric metric, int bits) {
+  check_mutable("configure");
+  do_configure(metric, bits);
+}
+
+void AmIndex::store(const std::vector<std::vector<int>>& database) {
+  check_mutable("store");
+  do_store(database);
+}
+
+WriteReceipt AmIndex::insert(std::span<const int> vector) {
+  check_mutable("insert");
+  return do_insert(vector);
+}
+
+WriteReceipt AmIndex::remove(std::size_t global_row) {
+  check_mutable("remove");
+  return do_remove(global_row);
+}
+
+WriteReceipt AmIndex::update(std::size_t global_row,
+                             std::span<const int> vector) {
+  check_mutable("update");
+  return do_update(global_row, vector);
+}
+
 void AmIndex::validate_request(const SearchRequest& request) const {
-  if (request.k == 0 || request.k > stored_count()) {
+  // No live row means no k is acceptable: say so with the typed error
+  // instead of blaming the caller's k. Covers both a never-stored index
+  // and one whose every row was removed.
+  if (live_count() == 0) {
+    throw EmptyIndex("AmIndex: no live rows to search");
+  }
+  if (request.k == 0 || request.k > live_count()) {
     throw std::invalid_argument("AmIndex: request.k out of range");
   }
   validate_backend_query(request.query);
 }
 
 SearchResponse AmIndex::search(const SearchRequest& request) {
+  // Synchronous serving consumes ordinals, which a live AsyncAmIndex
+  // owns — the same footgun as a synchronous mutation.
+  check_mutable("search");
   // Validate before consuming an ordinal, so a rejected request leaves
   // the noise-stream sequence exactly where it was.
   validate_request(request);
@@ -25,6 +69,14 @@ SearchResponse AmIndex::search(const SearchRequest& request) {
 
 SearchResponse AmIndex::search_at(const SearchRequest& request,
                                   std::uint64_t ordinal) const {
+  // Const, but still racy against an owning AsyncAmIndex's queued
+  // writes — outside callers must go through the wrapper.
+  check_mutable("search_at");
+  return serve_at(request, ordinal);
+}
+
+SearchResponse AmIndex::serve_at(const SearchRequest& request,
+                                 std::uint64_t ordinal) const {
   validate_request(request);
   return search_core(request.query, request.k, ordinal,
                      /*in_query_pool=*/false);
@@ -32,6 +84,7 @@ SearchResponse AmIndex::search_at(const SearchRequest& request,
 
 std::vector<SearchResponse> AmIndex::search_batch(
     std::span<const SearchRequest> requests) {
+  check_mutable("search_batch");
   if (requests.empty()) return {};
   // Whole-batch validation up front: a rejected batch consumes nothing.
   for (const auto& request : requests) validate_request(request);
@@ -45,6 +98,13 @@ std::vector<SearchResponse> AmIndex::search_batch(
 }
 
 std::vector<SearchResponse> AmIndex::search_batch_at(
+    std::span<const SearchRequest> requests,
+    std::span<const std::uint64_t> ordinals) const {
+  check_mutable("search_batch_at");
+  return serve_batch_at(requests, ordinals);
+}
+
+std::vector<SearchResponse> AmIndex::serve_batch_at(
     std::span<const SearchRequest> requests,
     std::span<const std::uint64_t> ordinals) const {
   if (requests.size() != ordinals.size()) {

@@ -25,21 +25,55 @@
 //     request pins one explicitly or the const search_at entry point is
 //     used, so responses never depend on thread interleaving.
 //   * insert() appends to the live array(s) (program_row on a grown
-//     bank, new banks on demand) and charges circuit::WriteCost; after
-//     N inserts, searches are bit-identical to a fresh store() of the
-//     concatenated database.
+//     bank, new banks on demand — reusing slots freed by remove()
+//     first) and charges circuit::WriteCost; after N inserts, searches
+//     are bit-identical to a fresh store() of the concatenated
+//     database.
+//   * remove() / update() complete the mutable write path: a removed
+//     row is erased and masked in the post-decoder (it can never win an
+//     LTA round, and live rows' comparator-noise draws are exactly
+//     those of an index holding only the live rows); update()
+//     reprograms a slot in place, charging erase + program-and-verify.
+//   * k is validated against live_count(); an index with nothing live
+//     to search rejects requests with the typed EmptyIndex error.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuit/write.hpp"
 #include "csp/distance_matrix.hpp"
 
 namespace ferex::serve {
+
+class AsyncAmIndex;
+
+/// Typed rejection for an index with no live rows (never stored, or
+/// every row removed): no k is valid, and the caller should distinguish
+/// "your k is too big" from "there is nothing to search".
+class EmptyIndex : public std::logic_error {
+ public:
+  explicit EmptyIndex(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Typed rejection of a synchronous mutation (configure/store/insert/
+/// remove/update — and ordinal-consuming synchronous serving) while an
+/// AsyncAmIndex owns the index: the async front door owns ordinal
+/// accounting and its dispatchers read the index concurrently, so a
+/// direct mutation would silently race them. Route the write through
+/// AsyncAmIndex::submit_remove/submit_update instead, or shut the async
+/// session down first.
+class MutationWhileServed : public std::logic_error {
+ public:
+  explicit MutationWhileServed(const std::string& what)
+      : std::logic_error(what) {}
+};
 
 /// One nearest-neighbor request.
 struct SearchRequest {
@@ -66,12 +100,15 @@ struct SearchResponse {
   const Hit& best() const noexcept { return hits.front(); }
 };
 
-/// Receipt for one streaming insert.
-struct InsertReceipt {
-  std::size_t global_row = 0;  ///< where the vector landed
-  std::size_t bank = 0;        ///< bank that absorbed it
-  circuit::WriteCost cost{};   ///< write cost of programming the row
+/// Receipt for one write-path operation (insert / remove / update).
+struct WriteReceipt {
+  std::size_t global_row = 0;  ///< the row written (or erased)
+  std::size_t bank = 0;        ///< bank holding it
+  circuit::WriteCost cost{};   ///< write cost of the operation
 };
+
+/// Historical name for the insert receipt.
+using InsertReceipt = WriteReceipt;
 
 /// Polymorphic serving interface over interchangeable FeReX backends.
 ///
@@ -85,15 +122,34 @@ class AmIndex {
  public:
   virtual ~AmIndex() = default;
 
+  /// Every mutating entry point below is a thin guard over a protected
+  /// do_* virtual: while an AsyncAmIndex owns this index the guard
+  /// throws MutationWhileServed instead of silently racing the
+  /// dispatcher threads (the async front door routes writes through its
+  /// own queue, where they serialize against in-flight searches).
+
   /// Configures (or re-configures) the distance function on the backend;
   /// stored and inserted rows are re-encoded.
-  virtual void configure(csp::DistanceMetric metric, int bits) = 0;
+  void configure(csp::DistanceMetric metric, int bits);
 
-  /// Stores a database, replacing any previous contents.
-  virtual void store(const std::vector<std::vector<int>>& database) = 0;
+  /// Stores a database, replacing any previous contents (all rows live).
+  void store(const std::vector<std::vector<int>>& database);
 
-  /// Streaming insert (see the file comment for the guarantees).
-  virtual InsertReceipt insert(std::span<const int> vector) = 0;
+  /// Streaming insert (see the file comment for the guarantees). Reuses
+  /// the lowest slot freed by remove() before growing.
+  WriteReceipt insert(std::span<const int> vector);
+
+  /// Deletes one row by global index: the slot is erased, masked out of
+  /// every future decision (without perturbing live rows' noise draws),
+  /// and queued for reuse. The receipt carries the erase cost. Throws
+  /// std::out_of_range on a bad index, std::logic_error when the row is
+  /// already removed.
+  WriteReceipt remove(std::size_t global_row);
+
+  /// Overwrites one row in place by global index: erase + program-and-
+  /// verify on a live slot, program-only on a removed slot (which comes
+  /// back live). Validates the vector before mutating.
+  WriteReceipt update(std::size_t global_row, std::span<const int> vector);
 
   /// Serves one request, consuming one ordinal (unless request.ordinal
   /// pins the noise stream). Throws std::invalid_argument /
@@ -112,7 +168,10 @@ class AmIndex {
   /// the request at an explicit ordinal, consuming nothing — the entry
   /// point for callers scheduling their own concurrency and for driving
   /// the index from const contexts. Any request.ordinal is ignored in
-  /// favor of the argument.
+  /// favor of the argument. Guarded while an AsyncAmIndex owns the
+  /// index: its queued writes mutate the backend, so even const reads
+  /// outside the wrapper's serialization would race them — route the
+  /// read through AsyncAmIndex::submit with a pinned ordinal instead.
   SearchResponse search_at(const SearchRequest& request,
                            std::uint64_t ordinal) const;
 
@@ -132,7 +191,9 @@ class AmIndex {
   /// Full request validation (k range + backend query checks), the same
   /// pass every serving entry point runs before any ordinal is consumed.
   /// Public so queueing layers can reject malformed requests at admission
-  /// time, before a promise or an ordinal exists for them.
+  /// time, before a promise or an ordinal exists for them. Throws the
+  /// typed EmptyIndex when nothing is live to search (no k could ever be
+  /// valid), std::invalid_argument when 1 <= k <= live_count() fails.
   void validate_request(const SearchRequest& request) const;
 
   /// Ordinal the next unpinned search() will consume.
@@ -143,16 +204,33 @@ class AmIndex {
   /// query_serial() at construction and hand the advanced serial back
   /// at shutdown, so synchronous traffic before and after an async
   /// session continues the same noise-stream sequence with no ordinal
-  /// served twice.
-  void set_query_serial(std::uint64_t serial) noexcept {
+  /// served twice. Guarded like the mutating entry points.
+  void set_query_serial(std::uint64_t serial) {
+    check_mutable("set_query_serial");
     query_serial_ = serial;
   }
 
+  /// Physical slots (live + removed); removed slots are reused by
+  /// insert() before the index grows.
   virtual std::size_t stored_count() const noexcept = 0;
+
+  /// Rows that compete in searches — what k is validated against.
+  virtual std::size_t live_count() const noexcept = 0;
+
   virtual std::size_t dims() const noexcept = 0;
   virtual std::size_t bank_count() const noexcept = 0;
 
  protected:
+  /// Backend write cores behind the guarded public entry points.
+  virtual void do_configure(csp::DistanceMetric metric, int bits) = 0;
+  virtual void do_store(const std::vector<std::vector<int>>& database) = 0;
+  virtual WriteReceipt do_insert(std::span<const int> vector) = 0;
+  virtual WriteReceipt do_remove(std::size_t global_row) = 0;
+  virtual WriteReceipt do_update(std::size_t global_row,
+                                 std::span<const int> vector) = 0;
+
+  /// Throws MutationWhileServed when an AsyncAmIndex owns this index.
+  void check_mutable(const char* op) const;
   /// Serves one validated request. `in_query_pool` marks calls issued
   /// from inside a parallel_for over requests: backends must then keep
   /// their inner loops serial so pools never nest. Never affects results.
@@ -169,6 +247,38 @@ class AmIndex {
   virtual bool inner_fan_for_batch(std::size_t batch_size) const = 0;
 
  private:
+  /// AsyncAmIndex holds the ownership flag for its lifetime and drives
+  /// the unguarded do_* / serve_*_at cores from its dispatchers (its
+  /// queue provides the serialization the guards otherwise demand).
+  /// Ownership is exclusive: a second wrapper over the same index would
+  /// serve duplicate ordinals and race the first one's dispatchers, so
+  /// the claim throws instead.
+  friend class AsyncAmIndex;
+  void claim_async_owner() {
+    if (async_owned_.exchange(true, std::memory_order_acq_rel)) {
+      throw std::logic_error(
+          "AmIndex: already owned by a live AsyncAmIndex");
+    }
+  }
+  void release_async_owner() noexcept {
+    async_owned_.store(false, std::memory_order_release);
+  }
+  /// Serial handoff for the still-owning wrapper (the guarded public
+  /// setter would reject its own owner): must happen before
+  /// release_async_owner(), or a concurrent re-wrap could seed from
+  /// the stale pre-session serial.
+  void set_query_serial_unguarded(std::uint64_t serial) noexcept {
+    query_serial_ = serial;
+  }
+
+  /// Unguarded bodies of search_at / search_batch_at, for the owning
+  /// AsyncAmIndex's dispatchers.
+  SearchResponse serve_at(const SearchRequest& request,
+                          std::uint64_t ordinal) const;
+  std::vector<SearchResponse> serve_batch_at(
+      std::span<const SearchRequest> requests,
+      std::span<const std::uint64_t> ordinals) const;
+
   /// Post-validation batch dispatch shared by search_batch and
   /// search_batch_at: fans requests across the pool or runs them serially
   /// with inner fan-out, per the backend's scheduling rule.
@@ -177,6 +287,7 @@ class AmIndex {
       std::span<const std::uint64_t> ordinals) const;
 
   std::uint64_t query_serial_ = 0;
+  std::atomic<bool> async_owned_{false};
 };
 
 }  // namespace ferex::serve

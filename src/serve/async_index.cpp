@@ -28,23 +28,64 @@ AsyncAmIndex::AsyncAmIndex(AmIndex& index, AsyncOptions options)
     : index_(index),
       options_(sanitized(options)),
       queue_(options_.queue_depth) {
-  // Take over ordinal accounting where the index left off, so an async
-  // session after synchronous traffic continues the same noise-stream
-  // sequence instead of re-serving consumed ordinals.
+  // Own the index for the session: synchronous mutation (or
+  // ordinal-consuming synchronous serving) now throws the typed
+  // MutationWhileServed instead of racing the dispatchers. The claim is
+  // exclusive — wrapping an already-owned index throws here — and it
+  // comes before the serial snapshot, so no synchronous search can
+  // slip in between and consume an ordinal this session would re-serve;
+  // the session then continues the noise-stream sequence where the
+  // index left off.
+  index_.claim_async_owner();
   serial_ = index_.query_serial();
-  dispatchers_.reserve(options_.dispatchers);
-  for (std::size_t d = 0; d < options_.dispatchers; ++d) {
-    dispatchers_.emplace_back([this] { dispatch_loop(); });
+  try {
+    dispatchers_.reserve(options_.dispatchers);
+    for (std::size_t d = 0; d < options_.dispatchers; ++d) {
+      dispatchers_.emplace_back([this] { dispatch_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed mid-construction: the destructor will not
+    // run, so unwind by hand — stop what did start and hand the index
+    // back, or it stays locked behind the guard forever.
+    queue_.close();
+    for (auto& dispatcher : dispatchers_) {
+      if (dispatcher.joinable()) dispatcher.join();
+    }
+    index_.release_async_owner();
+    throw;
   }
 }
 
 AsyncAmIndex::~AsyncAmIndex() { shutdown(); }
 
-std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
-  // Validation first: a malformed request throws the backend's own
-  // exception before a promise, an ordinal, or a queue slot exists for
-  // it — exactly the synchronous entry points' contract.
+bool AsyncAmIndex::writes_pending() const {
+  std::lock_guard<std::mutex> order(order_mutex_);
+  return writes_applied_ < writes_admitted_.load(std::memory_order_relaxed);
+}
+
+void AsyncAmIndex::validate_search_submit(const SearchRequest& request) const {
+  // See the header: k >= 1 always; everything touching the backend only
+  // on a quiescent session (else deferred to execution — even the
+  // configured+stored precondition, which a queued first insert
+  // establishes). The shared lock orders the backend reads against a
+  // write a dispatcher may be applying, and the closing_ check inside
+  // it keeps stragglers off an index that shutdown() may already have
+  // handed back to synchronous mutators (shutdown's unique-lock
+  // barrier waits out validators already past the check).
+  if (request.k == 0) {
+    throw std::invalid_argument("AmIndex: request.k out of range");
+  }
+  std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+  if (closing_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit after shutdown");
+  }
+  if (writes_pending()) return;
   index_.validate_request(request);
+}
+
+std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
+  validate_search_submit(request);
 
   Pending pending;
   pending.submitted = Clock::now();
@@ -56,8 +97,10 @@ std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
   }
   const bool pinned = request.ordinal.has_value();
   pending.ordinal = pinned ? *request.ordinal : serial_;
+  pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
   pending.request = std::move(request);
-  std::future<SearchResponse> future = pending.promise.get_future();
+  pending.promise.emplace();
+  std::future<SearchResponse> future = pending.promise->get_future();
   // Pushers all hold submit_mutex_, so a failed push can only mean the
   // queue is genuinely at depth (pops only make room) — admission
   // control, with the serial untouched.
@@ -67,13 +110,112 @@ std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
                      std::to_string(options_.queue_depth));
   }
   if (!pinned) ++serial_;
+  ++searches_admitted_;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
+std::future<WriteReceipt> AsyncAmIndex::admit_write(Pending pending) {
+  pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
+  pending.searches_before = searches_admitted_;
+  pending.write_promise.emplace();
+  std::future<WriteReceipt> future = pending.write_promise->get_future();
+  if (!queue_.try_push(std::move(pending))) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("AsyncAmIndex: request queue at depth " +
+                     std::to_string(options_.queue_depth));
+  }
+  writes_admitted_.fetch_add(1, std::memory_order_relaxed);
+  writes_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::future<WriteReceipt> AsyncAmIndex::submit_remove(std::size_t global_row) {
+  Pending pending;
+  pending.kind = Pending::Kind::kRemove;
+  pending.row = global_row;
+  pending.submitted = Clock::now();
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (shutdown_) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit_remove after shutdown");
+  }
+  {
+    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    // The slot range is state (queued inserts grow it): authoritative
+    // only on a quiescent index, else checked at execution.
+    if (!writes_pending() && global_row >= index_.stored_count()) {
+      throw std::out_of_range("AsyncAmIndex::submit_remove: row");
+    }
+  }
+  return admit_write(std::move(pending));
+}
+
+std::future<WriteReceipt> AsyncAmIndex::submit_update(std::size_t global_row,
+                                                      std::vector<int> vector) {
+  Pending pending;
+  pending.kind = Pending::Kind::kUpdate;
+  pending.row = global_row;
+  pending.vector = std::move(vector);
+  pending.submitted = Clock::now();
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (shutdown_) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit_update after shutdown");
+  }
+  {
+    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    if (!writes_pending() && global_row >= index_.stored_count()) {
+      throw std::out_of_range("AsyncAmIndex::submit_update: row");
+    }
+    // Dimensionality is fixed while the wrapper owns the index
+    // (store/configure are guarded), so the length check is structural.
+    if (index_.stored_count() > 0 &&
+        pending.vector.size() != index_.dims()) {
+      throw std::invalid_argument(
+          "AsyncAmIndex::submit_update: vector.size() != dims");
+    }
+  }
+  return admit_write(std::move(pending));
+}
+
+std::future<WriteReceipt> AsyncAmIndex::submit_insert(std::vector<int> vector) {
+  Pending pending;
+  pending.kind = Pending::Kind::kInsert;
+  pending.vector = std::move(vector);
+  pending.submitted = Clock::now();
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (shutdown_) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit_insert after shutdown");
+  }
+  {
+    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    if (pending.vector.empty() ||
+        (index_.stored_count() > 0 &&
+         pending.vector.size() != index_.dims())) {
+      throw std::invalid_argument(
+          "AsyncAmIndex::submit_insert: vector.size() != dims");
+    }
+  }
+  return admit_write(std::move(pending));
+}
+
 std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
     std::span<const SearchRequest> requests) {
-  for (const auto& request : requests) index_.validate_request(request);
+  // Fail the whole batch fast once shutdown has begun (counted per
+  // request, like the all-or-nothing admission below), then validate
+  // all-or-nothing before anything is consumed (same submit-time rules
+  // as submit, outside the submit lock).
+  if (closing_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(requests.size(), std::memory_order_relaxed);
+    throw ShutDown("AsyncAmIndex: submit_batch after shutdown");
+  }
+  for (const auto& request : requests) validate_search_submit(request);
+
   std::vector<std::future<SearchResponse>> futures;
   futures.reserve(requests.size());
   if (requests.empty()) return futures;
@@ -100,12 +242,15 @@ std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
     pending.submitted = now;
     pending.request = request;
     pending.ordinal = request.ordinal ? *request.ordinal : next++;
-    futures.push_back(pending.promise.get_future());
+    pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
+    pending.promise.emplace();
+    futures.push_back(pending.promise->get_future());
     // Cannot fail: capacity was checked under the same mutex all
     // pushers hold, and close() also takes it.
     queue_.try_push(std::move(pending));
   }
   serial_ = next;
+  searches_admitted_ += requests.size();
   submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
   return futures;
 }
@@ -116,6 +261,7 @@ void AsyncAmIndex::shutdown() {
     std::lock_guard<std::mutex> lock(submit_mutex_);
     if (shutdown_) return;
     shutdown_ = true;
+    closing_.store(true, std::memory_order_release);
     final_serial = serial_;
   }
   // Drain mode: pushes now fail, but the dispatchers keep popping until
@@ -124,9 +270,16 @@ void AsyncAmIndex::shutdown() {
   for (auto& dispatcher : dispatchers_) {
     if (dispatcher.joinable()) dispatcher.join();
   }
-  // Hand the advanced serial back: synchronous traffic after this
-  // session continues the stream where the async ordinals stopped.
-  index_.set_query_serial(final_serial);
+  // Barrier: straggler submit validators hold validate_mutex_ shared
+  // while reading the index; wait them out (new ones bail on closing_)
+  // before the index can go back to synchronous mutators.
+  { std::unique_lock<std::shared_mutex> barrier(validate_mutex_); }
+  // Hand the advanced serial back while still owning the index (the
+  // reverse order would let a concurrent re-wrap seed from the stale
+  // serial — and make the guarded setter throw out of a destructor),
+  // then release it back to synchronous use.
+  index_.set_query_serial_unguarded(final_serial);
+  index_.release_async_owner();
 }
 
 bool AsyncAmIndex::shut_down() const {
@@ -149,6 +302,8 @@ ServeStats AsyncAmIndex::stats() const {
   stats.served = served_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.writes_submitted = writes_submitted_.load(std::memory_order_relaxed);
+  stats.writes_served = writes_served_.load(std::memory_order_relaxed);
   stats.queue_wait_us = queue_wait_us_.summarize();
   stats.end_to_end_us = end_to_end_us_.summarize();
   return stats;
@@ -156,23 +311,43 @@ ServeStats AsyncAmIndex::stats() const {
 
 void AsyncAmIndex::dispatch_loop() {
   std::vector<Pending> batch;
-  Pending first;
-  while (queue_.pop(first)) {
+  Pending carry;
+  bool have_carry = false;
+  for (;;) {
+    Pending first;
+    if (have_carry) {
+      first = std::move(carry);
+      have_carry = false;
+    } else if (!queue_.pop(first)) {
+      break;  // closed and drained; nothing carried over
+    }
+    if (first.kind != Pending::Kind::kSearch) {
+      serve_write(first);
+      continue;
+    }
     batch.clear();
     batch.push_back(std::move(first));
     // Coalesce: take whatever is already queued, then — if the batch is
     // still short and a linger is configured — wait for stragglers. The
     // deadline is anchored at the first pop so a trickle of arrivals
-    // cannot stall dispatch indefinitely.
+    // cannot stall dispatch indefinitely. A batch never spans a write
+    // boundary: a popped write — or a search from a later write epoch,
+    // possible when another dispatcher holds the intervening write — is
+    // carried over and served after this batch, preserving submission
+    // order within this dispatcher.
     const auto deadline =
         Clock::now() + std::chrono::microseconds(options_.max_wait_us);
     while (batch.size() < options_.max_batch) {
       Pending next;
-      if (queue_.try_pop(next)) {
-        batch.push_back(std::move(next));
-        continue;
+      if (!queue_.try_pop(next)) {
+        if (options_.max_wait_us == 0 || !queue_.pop_until(next, deadline)) {
+          break;
+        }
       }
-      if (options_.max_wait_us == 0 || !queue_.pop_until(next, deadline)) {
+      if (next.kind != Pending::Kind::kSearch ||
+          next.write_epoch != batch.front().write_epoch) {
+        carry = std::move(next);
+        have_carry = true;
         break;
       }
       batch.push_back(std::move(next));
@@ -181,7 +356,70 @@ void AsyncAmIndex::dispatch_loop() {
   }
 }
 
+void AsyncAmIndex::serve_write(Pending& pending) {
+  // Its turn comes when every write admitted before it has applied and
+  // every search admitted before it has completed; searches of later
+  // epochs are themselves waiting for this write to apply.
+  {
+    std::unique_lock<std::mutex> lock(order_mutex_);
+    order_cv_.wait(lock, [&] {
+      return writes_applied_ == pending.write_epoch &&
+             searches_completed_ >= pending.searches_before;
+    });
+  }
+  // Queue wait ends where work can begin — after the ordering wait,
+  // matching serve_batch's definition so the shared reservoir (and the
+  // regression gate over it) measures one thing.
+  queue_wait_us_.record(us_between(pending.submitted, Clock::now()));
+  WriteReceipt receipt;
+  std::exception_ptr error;
+  try {
+    // Exclusive against submit-time validators; in-flight searches are
+    // excluded by the epoch wait above. The do_* cores bypass the
+    // synchronous-mutation guard — this queue provides the
+    // serialization that guard exists to enforce.
+    std::unique_lock<std::shared_mutex> guard(validate_mutex_);
+    switch (pending.kind) {
+      case Pending::Kind::kRemove:
+        receipt = index_.do_remove(pending.row);
+        break;
+      case Pending::Kind::kUpdate:
+        receipt = index_.do_update(pending.row, pending.vector);
+        break;
+      default:
+        receipt = index_.do_insert(pending.vector);
+        break;
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // The epoch advances even when the write failed: a throwing write is
+  // a no-op on the index, exactly as in the synchronous sequence, and
+  // later operations must not wait for it forever.
+  {
+    std::lock_guard<std::mutex> lock(order_mutex_);
+    ++writes_applied_;
+  }
+  order_cv_.notify_all();
+  end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
+  writes_served_.fetch_add(1, std::memory_order_relaxed);
+  if (error) {
+    pending.write_promise->set_exception(std::move(error));
+  } else {
+    pending.write_promise->set_value(receipt);
+  }
+}
+
 void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
+  // Wait for the batch's epoch: every write submitted before these
+  // searches must have applied (writes in turn wait for older searches,
+  // so the pair of gates serializes execution in submission order).
+  {
+    std::unique_lock<std::mutex> lock(order_mutex_);
+    order_cv_.wait(lock, [&] {
+      return writes_applied_ == batch.front().write_epoch;
+    });
+  }
   const auto dispatch_start = Clock::now();
   for (const auto& pending : batch) {
     queue_wait_us_.record(us_between(pending.submitted, dispatch_start));
@@ -193,13 +431,24 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
                                            std::memory_order_relaxed)) {
   }
 
+  // Completion unblocks any write waiting on searches admitted before
+  // it (notified on every exit path below).
+  const auto note_completed = [&] {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex_);
+      searches_completed_ += batch.size();
+    }
+    order_cv_.notify_all();
+  };
+
   if (batch.size() == 1) {
     auto& pending = batch.front();
     try {
-      fulfill(pending, index_.search_at(pending.request, pending.ordinal));
+      fulfill(pending, index_.serve_at(pending.request, pending.ordinal));
     } catch (...) {
       fail(pending, std::current_exception());
     }
+    note_completed();
     return;
   }
 
@@ -212,7 +461,7 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
     ordinals.push_back(pending.ordinal);
   }
   try {
-    auto responses = index_.search_batch_at(requests, ordinals);
+    auto responses = index_.serve_batch_at(requests, ordinals);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       fulfill(batch[i], std::move(responses[i]));
     }
@@ -222,7 +471,7 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
     // a first service) and fail only the futures that themselves throw.
     for (std::size_t i = 0; i < batch.size(); ++i) {
       try {
-        fulfill(batch[i], index_.search_at(
+        fulfill(batch[i], index_.serve_at(
                               SearchRequest{std::move(requests[i].query),
                                             requests[i].k, std::nullopt},
                               ordinals[i]));
@@ -231,6 +480,7 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
       }
     }
   }
+  note_completed();
 }
 
 void AsyncAmIndex::fulfill(Pending& pending, SearchResponse response) {
@@ -239,13 +489,13 @@ void AsyncAmIndex::fulfill(Pending& pending, SearchResponse response) {
   // with the promise, ordering these relaxed writes for the observer).
   end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
   served_.fetch_add(1, std::memory_order_relaxed);
-  pending.promise.set_value(std::move(response));
+  pending.promise->set_value(std::move(response));
 }
 
 void AsyncAmIndex::fail(Pending& pending, std::exception_ptr error) {
   end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
   served_.fetch_add(1, std::memory_order_relaxed);
-  pending.promise.set_exception(std::move(error));
+  pending.promise->set_exception(std::move(error));
 }
 
 }  // namespace ferex::serve

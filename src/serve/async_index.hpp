@@ -24,15 +24,33 @@
 // coalescing, dispatcher count, and thread interleaving never change a
 // result, only when it arrives.
 //
+// Writes flow through the same queue: submit_insert / submit_remove /
+// submit_update return std::future<WriteReceipt> and serialize against
+// searches by submission order. Every operation carries a write epoch
+// assigned at
+// submission (searches: how many writes were admitted before them;
+// writes: their own index in the admitted write sequence). A search
+// executes only once exactly its epoch's writes have applied; a write
+// applies only once every search admitted before it has completed —
+// so dispatcher coalescing never reorders a search across a write it
+// was submitted after, batches never span a write boundary, and the
+// response stream is bit-identical to a synchronous AmIndex applying
+// the same operations in submission order, regardless of dispatcher
+// count. A failed write (e.g. double remove) surfaces through its
+// future and still advances the epoch — exactly the synchronous
+// sequence, where the throwing call mutates nothing.
+//
 // Lifecycle: shutdown() (and the destructor) closes the queue, lets the
 // dispatchers drain every accepted request (all futures complete — by
 // value or exception, none broken), and joins them. Submissions after
 // shutdown fail fast with the typed ShutDown error. Backend exceptions
 // surface through the affected futures, never std::terminate.
 //
-// The wrapped index must outlive the AsyncAmIndex, and must not be
-// mutated (store/insert/configure) or served synchronously while the
-// async front door is open — the wrapper owns its ordinal accounting.
+// The wrapped index must outlive the AsyncAmIndex. While the front door
+// is open the index is marked async-owned: synchronous mutation or
+// ordinal-consuming synchronous serving throws the typed
+// MutationWhileServed instead of silently racing the dispatchers
+// (shutdown() returns the index to synchronous use).
 //
 // Per-shard affinity: with a BankedIndex backend, a coalesced batch's
 // bank fan-out runs on util::parallel_for_affine, which maps bank b to
@@ -43,10 +61,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -88,14 +109,19 @@ struct AsyncOptions {
 };
 
 /// Counters + latency percentiles for a serving session (all since
-/// construction; see LatencyReservoir for snapshot semantics).
+/// construction; see LatencyReservoir for snapshot semantics). Search
+/// and write traffic are counted separately: writes never coalesce, so
+/// folding them into the batch counters would skew the mean batch size
+/// the serve bench derives.
 struct ServeStats {
-  std::uint64_t submitted = 0;          ///< accepted requests
+  std::uint64_t submitted = 0;          ///< accepted search requests
   std::uint64_t rejected_overload = 0;  ///< failed admission (Overloaded)
   std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown
-  std::uint64_t served = 0;             ///< futures completed
-  std::uint64_t batches = 0;            ///< dispatch calls issued
+  std::uint64_t served = 0;             ///< search futures completed
+  std::uint64_t batches = 0;            ///< search dispatch calls issued
   std::uint64_t max_batch = 0;          ///< largest coalesced batch
+  std::uint64_t writes_submitted = 0;   ///< accepted insert/remove/update ops
+  std::uint64_t writes_served = 0;      ///< write futures completed
   core::LatencyReservoir::Summary queue_wait_us;  ///< submit -> dispatch
   core::LatencyReservoir::Summary end_to_end_us;  ///< submit -> complete
 };
@@ -114,11 +140,17 @@ class AsyncAmIndex {
   AsyncAmIndex& operator=(const AsyncAmIndex&) = delete;
 
   /// Enqueues one request and returns its completion future. Validates
-  /// first (same exceptions as AmIndex::search, nothing consumed on a
-  /// malformed request); then assigns the noise-stream ordinal (the
-  /// wrapper's next serial, or request.ordinal when pinned) and admits —
-  /// throwing Overloaded on a full queue, ShutDown after shutdown(),
-  /// with the serial unmoved in both cases.
+  /// first (nothing consumed on a throw): on a quiescent session the
+  /// full request validation runs at submit, same exceptions as
+  /// AmIndex::search; while writes are in flight only k >= 1 is
+  /// decidable — the state this request will see (live rows, even
+  /// whether a queued first insert has established the index) is a
+  /// function of the queued writes, so validation reruns at execution
+  /// and surfaces through the future, exactly where the synchronous
+  /// sequence would throw. Then assigns the noise-stream ordinal (the
+  /// wrapper's next serial, or request.ordinal when pinned) and
+  /// admits — throwing Overloaded on a full queue, ShutDown after
+  /// shutdown(), with the serial unmoved in both cases.
   std::future<SearchResponse> submit(SearchRequest request);
 
   /// All-or-nothing batch submission: either every request is accepted
@@ -128,6 +160,29 @@ class AsyncAmIndex {
   /// fuses it to max_batch.
   std::vector<std::future<SearchResponse>> submit_batch(
       std::span<const SearchRequest> requests);
+
+  /// Enqueues a row deletion. The physical slot range is checked at
+  /// submit on a quiescent index (std::out_of_range); liveness — and
+  /// the range itself once writes are in flight — is a property of when
+  /// the op executes, so those failures surface through the future,
+  /// exactly as the synchronous sequence would throw. Admission matches
+  /// submit (Overloaded / ShutDown, nothing consumed on rejection). The
+  /// op serializes against every search by submission order (see the
+  /// file comment).
+  std::future<WriteReceipt> submit_remove(std::size_t global_row);
+
+  /// Enqueues an in-place overwrite. Vector length is validated at
+  /// submit (dimensionality cannot change while the wrapper owns the
+  /// index); the row range follows submit_remove's rules; alphabet
+  /// errors surface through the future.
+  std::future<WriteReceipt> submit_update(std::size_t global_row,
+                                          std::vector<int> vector);
+
+  /// Enqueues a streaming insert (freed slots reused before growth, as
+  /// AmIndex::insert). Vector length is validated at submit; alphabet
+  /// errors surface through the future. The receipt says where the row
+  /// landed.
+  std::future<WriteReceipt> submit_insert(std::vector<int> vector);
 
   /// Closes the queue, drains every accepted request (their futures
   /// complete), joins the dispatchers. Idempotent; afterwards submit
@@ -148,17 +203,57 @@ class AsyncAmIndex {
 
  private:
   struct Pending {
-    SearchRequest request;
-    std::uint64_t ordinal = 0;
-    std::promise<SearchResponse> promise;
+    enum class Kind { kSearch, kRemove, kUpdate, kInsert };
+    Kind kind = Kind::kSearch;
+    SearchRequest request;       ///< kSearch
+    std::size_t row = 0;         ///< kRemove / kUpdate
+    std::vector<int> vector;     ///< kUpdate / kInsert
+    std::uint64_t ordinal = 0;   ///< kSearch (noise stream)
+    /// Ordering tag. Searches: how many writes were admitted before
+    /// this op (it runs once that many have applied). Writes: this
+    /// op's index in the admitted write sequence.
+    std::uint64_t write_epoch = 0;
+    /// Writes only: searches admitted before this op — it applies once
+    /// that many have completed.
+    std::uint64_t searches_before = 0;
+    /// Exactly one is engaged per op (a default std::promise allocates
+    /// its shared state, so carrying both non-optionally would waste a
+    /// heap allocation per request).
+    std::optional<std::promise<SearchResponse>> promise;      ///< kSearch
+    std::optional<std::promise<WriteReceipt>> write_promise;  ///< writes
     std::chrono::steady_clock::time_point submitted{};
   };
+
+  /// True when admitted writes have not all applied yet.
+  bool writes_pending() const;
+  /// Submit-time search validation, run before submit_mutex_ so
+  /// submitters do not serialize on the O(dims) query scan. On a
+  /// quiescent index the snapshot is authoritative (full
+  /// validate_request — malformed requests throw here and consume
+  /// nothing). With writes in flight every backend check is deferred:
+  /// the state this request will see — including whether a queued
+  /// first insert has established the index at all — is a function of
+  /// the queued writes, so the checks rerun at execution and surface
+  /// through the future, exactly as the synchronous sequence would
+  /// throw at the request's position in the stream. Only k >= 1 is
+  /// always decidable. Throws ShutDown once shutdown has begun (the
+  /// index may already be back in synchronous hands).
+  void validate_search_submit(const SearchRequest& request) const;
+  /// Shared admission tail of the write submit paths: epoch tagging,
+  /// push, counters (submit_mutex_ held, shutdown already checked).
+  std::future<WriteReceipt> admit_write(Pending pending);
 
   void dispatch_loop();
   /// Serves one coalesced batch: singles through search_at, larger
   /// batches through search_batch_at with a per-request fallback so one
-  /// failing request cannot poison its batchmates' futures.
+  /// failing request cannot poison its batchmates' futures. Waits for
+  /// the batch's write epoch first.
   void serve_batch(std::vector<Pending>& batch);
+  /// Applies one write op: waits for its turn in submission order,
+  /// applies under the state lock, advances the epoch (even on failure —
+  /// a throwing write is the synchronous sequence's no-op), completes
+  /// the future.
+  void serve_write(Pending& pending);
   void fulfill(Pending& pending, SearchResponse response);
   void fail(Pending& pending, std::exception_ptr error);
 
@@ -166,19 +261,46 @@ class AsyncAmIndex {
   const AsyncOptions options_;
   util::BoundedQueue<Pending> queue_;
 
-  mutable std::mutex submit_mutex_;  ///< guards serial_ / shutdown_ and
+  mutable std::mutex submit_mutex_;  ///< guards serial_ / shutdown_ /
+                                     ///< admission-order counters and
                                      ///< makes admission + ordinal atomic
   std::uint64_t serial_ = 0;
   bool shutdown_ = false;
+  /// Mirrors shutdown_ for lock-free reads in the pre-lock validators;
+  /// set under submit_mutex_, synchronized by the validate_mutex_
+  /// barrier shutdown() takes before releasing the index.
+  std::atomic<bool> closing_{false};
+  /// Writes accepted so far. Written only under submit_mutex_; atomic
+  /// so the pre-lock validators can consult quiescence without it.
+  std::atomic<std::uint64_t> writes_admitted_{0};
+  std::uint64_t searches_admitted_ = 0;  ///< searches accepted so far
+
+  /// Execution-order state: dispatchers wait on order_cv_ until the
+  /// counters reach their op's tags (see Pending). Because a write
+  /// applies strictly after every earlier search completed and before
+  /// any later one starts (all signalled through this mutex), search
+  /// execution itself needs no lock against write application.
+  mutable std::mutex order_mutex_;
+  std::condition_variable order_cv_;
+  std::uint64_t writes_applied_ = 0;
+  std::uint64_t searches_completed_ = 0;
+
+  /// Guards submit-time validation (which reads backend state) against
+  /// concurrent write application: validators hold it shared, the
+  /// applying dispatcher exclusively.
+  mutable std::shared_mutex validate_mutex_;
 
   std::vector<std::thread> dispatchers_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  /// mutable: also counted from the const submit-time validator.
+  mutable std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> writes_submitted_{0};
+  std::atomic<std::uint64_t> writes_served_{0};
   core::LatencyReservoir queue_wait_us_;
   core::LatencyReservoir end_to_end_us_;
 };

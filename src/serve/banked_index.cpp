@@ -19,25 +19,45 @@ Hit to_hit(const arch::BankedSearchResult& r) {
 BankedIndex::BankedIndex(arch::BankedOptions options)
     : banked_(options) {}
 
-void BankedIndex::configure(csp::DistanceMetric metric, int bits) {
+namespace {
+
+WriteReceipt to_receipt(const arch::BankedWrite& w) {
+  WriteReceipt receipt;
+  receipt.global_row = w.global_row;
+  receipt.bank = w.bank;
+  receipt.cost = w.cost;
+  return receipt;
+}
+
+}  // namespace
+
+void BankedIndex::do_configure(csp::DistanceMetric metric, int bits) {
   banked_.configure(metric, bits);
 }
 
-void BankedIndex::store(const std::vector<std::vector<int>>& database) {
+void BankedIndex::do_store(const std::vector<std::vector<int>>& database) {
   banked_.store(database);
 }
 
-InsertReceipt BankedIndex::insert(std::span<const int> vector) {
-  const auto banked_receipt = banked_.insert(vector);
-  InsertReceipt receipt;
-  receipt.global_row = banked_receipt.global_row;
-  receipt.bank = banked_receipt.bank;
-  receipt.cost = banked_receipt.cost;
-  return receipt;
+WriteReceipt BankedIndex::do_insert(std::span<const int> vector) {
+  return to_receipt(banked_.insert(vector));
+}
+
+WriteReceipt BankedIndex::do_remove(std::size_t global_row) {
+  return to_receipt(banked_.remove(global_row));
+}
+
+WriteReceipt BankedIndex::do_update(std::size_t global_row,
+                                    std::span<const int> vector) {
+  return to_receipt(banked_.update(global_row, vector));
 }
 
 std::size_t BankedIndex::stored_count() const noexcept {
   return banked_.stored_count();
+}
+
+std::size_t BankedIndex::live_count() const noexcept {
+  return banked_.live_count();
 }
 
 std::size_t BankedIndex::dims() const noexcept { return banked_.dims(); }

@@ -21,11 +21,8 @@ class BankedIndex final : public AmIndex {
  public:
   explicit BankedIndex(arch::BankedOptions options = {});
 
-  void configure(csp::DistanceMetric metric, int bits) override;
-  void store(const std::vector<std::vector<int>>& database) override;
-  InsertReceipt insert(std::span<const int> vector) override;
-
   std::size_t stored_count() const noexcept override;
+  std::size_t live_count() const noexcept override;
   std::size_t dims() const noexcept override;
   std::size_t bank_count() const noexcept override;
 
@@ -35,6 +32,12 @@ class BankedIndex final : public AmIndex {
   const arch::BankedAm& banked() const noexcept { return banked_; }
 
  protected:
+  void do_configure(csp::DistanceMetric metric, int bits) override;
+  void do_store(const std::vector<std::vector<int>>& database) override;
+  WriteReceipt do_insert(std::span<const int> vector) override;
+  WriteReceipt do_remove(std::size_t global_row) override;
+  WriteReceipt do_update(std::size_t global_row,
+                         std::span<const int> vector) override;
   SearchResponse search_core(std::span<const int> query, std::size_t k,
                              std::uint64_t ordinal,
                              bool in_query_pool) const override;

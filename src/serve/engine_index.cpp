@@ -5,28 +5,51 @@ namespace ferex::serve {
 EngineIndex::EngineIndex(core::FerexOptions options)
     : engine_(options) {}
 
-void EngineIndex::configure(csp::DistanceMetric metric, int bits) {
+void EngineIndex::do_configure(csp::DistanceMetric metric, int bits) {
   engine_.configure(metric, bits);
 }
 
 void EngineIndex::configure_composite(csp::DistanceMetric metric, int bits) {
+  check_mutable("configure_composite");
   engine_.configure_composite(metric, bits);
 }
 
-void EngineIndex::store(const std::vector<std::vector<int>>& database) {
+void EngineIndex::do_store(const std::vector<std::vector<int>>& database) {
   engine_.store(database);
 }
 
-InsertReceipt EngineIndex::insert(std::span<const int> vector) {
-  InsertReceipt receipt;
-  receipt.cost = engine_.insert(vector);
+WriteReceipt EngineIndex::do_insert(std::span<const int> vector) {
+  const auto result = engine_.insert(vector);
+  WriteReceipt receipt;
+  receipt.cost = result.cost;
   receipt.bank = 0;
-  receipt.global_row = engine_.stored_count() - 1;
+  receipt.global_row = result.row;
+  return receipt;
+}
+
+WriteReceipt EngineIndex::do_remove(std::size_t global_row) {
+  WriteReceipt receipt;
+  receipt.cost = engine_.remove(global_row);
+  receipt.bank = 0;
+  receipt.global_row = global_row;
+  return receipt;
+}
+
+WriteReceipt EngineIndex::do_update(std::size_t global_row,
+                                    std::span<const int> vector) {
+  WriteReceipt receipt;
+  receipt.cost = engine_.update(global_row, vector);
+  receipt.bank = 0;
+  receipt.global_row = global_row;
   return receipt;
 }
 
 std::size_t EngineIndex::stored_count() const noexcept {
   return engine_.stored_count();
+}
+
+std::size_t EngineIndex::live_count() const noexcept {
+  return engine_.live_count();
 }
 
 std::size_t EngineIndex::dims() const noexcept { return engine_.dims(); }

@@ -15,15 +15,14 @@ class EngineIndex final : public AmIndex {
  public:
   explicit EngineIndex(core::FerexOptions options = {});
 
-  void configure(csp::DistanceMetric metric, int bits) override;
   /// Composite (digit-decomposed) encodings — the scalable path for
   /// separable metrics past the exact CSP's reach. Engine-only: the
-  /// banked layer configures per-bank monolithic encodings.
+  /// banked layer configures per-bank monolithic encodings. Guarded
+  /// like every other mutation.
   void configure_composite(csp::DistanceMetric metric, int bits);
-  void store(const std::vector<std::vector<int>>& database) override;
-  InsertReceipt insert(std::span<const int> vector) override;
 
   std::size_t stored_count() const noexcept override;
+  std::size_t live_count() const noexcept override;
   std::size_t dims() const noexcept override;
   std::size_t bank_count() const noexcept override { return 1; }
 
@@ -33,6 +32,12 @@ class EngineIndex final : public AmIndex {
   const core::FerexEngine& engine() const noexcept { return engine_; }
 
  protected:
+  void do_configure(csp::DistanceMetric metric, int bits) override;
+  void do_store(const std::vector<std::vector<int>>& database) override;
+  WriteReceipt do_insert(std::span<const int> vector) override;
+  WriteReceipt do_remove(std::size_t global_row) override;
+  WriteReceipt do_update(std::size_t global_row,
+                         std::span<const int> vector) override;
   SearchResponse search_core(std::span<const int> query, std::size_t k,
                              std::uint64_t ordinal,
                              bool in_query_pool) const override;

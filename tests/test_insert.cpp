@@ -129,7 +129,7 @@ TEST(InsertT, InsertChargesTheRowWriteCost) {
   const auto db = data::random_int_vectors(7, 6, 4, 59);
   circuit::WriteCost streamed_total;
   for (const auto& row : db) {
-    const auto cost = engine.insert(row);
+    const auto cost = engine.insert(row).cost;
     EXPECT_GT(cost.pulses, 0u);
     EXPECT_GT(cost.energy_j, 0.0);
     EXPECT_GT(cost.latency_s, 0.0);
