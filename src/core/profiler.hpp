@@ -68,6 +68,13 @@ class LatencyReservoir {
   Summary summarize() const;
 
  private:
+  /// Thread-safety: deliberately lock-free, so these fields are exempt
+  /// from GUARDED_BY — there is no capability to name. `owner` is the
+  /// synchronization point: a slot is claimed with a CAS and from then
+  /// on `seen`/`max`/`samples` take relaxed atomic accesses (summarize()
+  /// may read mid-stream by design; see the class comment). `rng` is the
+  /// one plain field — only ever touched by the thread whose CAS won the
+  /// slot, which is exactly the ownership discipline the CAS encodes.
   struct Slot {
     std::atomic<std::uint64_t> owner{0};  ///< hashed thread id; 0 = free
     std::atomic<std::uint64_t> seen{0};   ///< samples offered to this slot

@@ -49,10 +49,23 @@
 
 #include "circuit/write.hpp"
 #include "csp/distance_matrix.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ferex::serve {
 
 class AsyncAmIndex;
+
+/// Phantom capability: the right to mutate an AmIndex (or drive its
+/// ordinal stream) without racing an asynchronous owner. Nothing is
+/// ever locked — the capability is *asserted*, either by the
+/// synchronous guard (check_mutable, which throws MutationWhileServed
+/// when an AsyncAmIndex owns the index) or by the owning AsyncAmIndex
+/// itself (whose queue serializes writes against searches). Under
+/// clang's `-Wthread-safety` this makes the template-method protocol a
+/// compile-time rule: every do_* core REQUIRES the capability, so a new
+/// public mutator that forgets its guard fails the static-analysis CI
+/// leg instead of silently racing dispatchers.
+class CAPABILITY("role") MutationSerialization {};
 
 /// Typed rejection for an index with no live rows (never stored, or
 /// every row removed): no k is valid, and the caller should distinguish
@@ -221,16 +234,26 @@ class AmIndex {
   virtual std::size_t bank_count() const noexcept = 0;
 
  protected:
-  /// Backend write cores behind the guarded public entry points.
-  virtual void do_configure(csp::DistanceMetric metric, int bits) = 0;
-  virtual void do_store(const std::vector<std::vector<int>>& database) = 0;
-  virtual WriteReceipt do_insert(std::span<const int> vector) = 0;
-  virtual WriteReceipt do_remove(std::size_t global_row) = 0;
+  /// Backend write cores behind the guarded public entry points. They
+  /// REQUIRE the mutation-serialization capability: callable only after
+  /// check_mutable() (synchronous front door) or through the owning
+  /// AsyncAmIndex's serialized write application.
+  virtual void do_configure(csp::DistanceMetric metric, int bits)
+      REQUIRES(mutation_serialization_) = 0;
+  virtual void do_store(const std::vector<std::vector<int>>& database)
+      REQUIRES(mutation_serialization_) = 0;
+  virtual WriteReceipt do_insert(std::span<const int> vector)
+      REQUIRES(mutation_serialization_) = 0;
+  virtual WriteReceipt do_remove(std::size_t global_row)
+      REQUIRES(mutation_serialization_) = 0;
   virtual WriteReceipt do_update(std::size_t global_row,
-                                 std::span<const int> vector) = 0;
+                                 std::span<const int> vector)
+      REQUIRES(mutation_serialization_) = 0;
 
-  /// Throws MutationWhileServed when an AsyncAmIndex owns this index.
-  void check_mutable(const char* op) const;
+  /// Throws MutationWhileServed when an AsyncAmIndex owns this index;
+  /// on return the caller holds the (phantom) mutation capability.
+  void check_mutable(const char* op) const
+      ASSERT_CAPABILITY(mutation_serialization_);
   /// Serves one validated request. `in_query_pool` marks calls issued
   /// from inside a parallel_for over requests: backends must then keep
   /// their inner loops serial so pools never nest. Never affects results.
@@ -263,11 +286,19 @@ class AmIndex {
   void release_async_owner() noexcept {
     async_owned_.store(false, std::memory_order_release);
   }
+  /// The owning AsyncAmIndex's side of the capability: its queue
+  /// already serializes the operation it is about to apply against
+  /// every in-flight search, which is exactly what the capability
+  /// stands for. A no-op at runtime; an assertion to the analysis.
+  void assert_async_serialized() const
+      ASSERT_CAPABILITY(mutation_serialization_) {}
+
   /// Serial handoff for the still-owning wrapper (the guarded public
   /// setter would reject its own owner): must happen before
   /// release_async_owner(), or a concurrent re-wrap could seed from
   /// the stale pre-session serial.
-  void set_query_serial_unguarded(std::uint64_t serial) noexcept {
+  void set_query_serial_unguarded(std::uint64_t serial) noexcept
+      REQUIRES(mutation_serialization_) {
     query_serial_ = serial;
   }
 
@@ -288,6 +319,8 @@ class AmIndex {
 
   std::uint64_t query_serial_ = 0;
   std::atomic<bool> async_owned_{false};
+  /// Phantom — never locked, only asserted (see MutationSerialization).
+  MutationSerialization mutation_serialization_;
 };
 
 }  // namespace ferex::serve

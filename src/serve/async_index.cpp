@@ -59,7 +59,7 @@ AsyncAmIndex::AsyncAmIndex(AmIndex& index, AsyncOptions options)
 AsyncAmIndex::~AsyncAmIndex() { shutdown(); }
 
 bool AsyncAmIndex::writes_pending() const {
-  std::lock_guard<std::mutex> order(order_mutex_);
+  util::MutexLock order(order_mutex_);
   return writes_applied_ < writes_admitted_.load(std::memory_order_relaxed);
 }
 
@@ -75,7 +75,7 @@ void AsyncAmIndex::validate_search_submit(const SearchRequest& request) const {
   if (request.k == 0) {
     throw std::invalid_argument("AmIndex: request.k out of range");
   }
-  std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+  util::ReaderMutexLock guard(validate_mutex_);
   if (closing_.load(std::memory_order_acquire)) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit after shutdown");
@@ -90,7 +90,7 @@ std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
   Pending pending;
   pending.submitted = Clock::now();
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit after shutdown");
@@ -136,13 +136,13 @@ std::future<WriteReceipt> AsyncAmIndex::submit_remove(std::size_t global_row) {
   pending.row = global_row;
   pending.submitted = Clock::now();
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_remove after shutdown");
   }
   {
-    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    util::ReaderMutexLock guard(validate_mutex_);
     // The slot range is state (queued inserts grow it): authoritative
     // only on a quiescent index, else checked at execution.
     if (!writes_pending() && global_row >= index_.stored_count()) {
@@ -160,13 +160,13 @@ std::future<WriteReceipt> AsyncAmIndex::submit_update(std::size_t global_row,
   pending.vector = std::move(vector);
   pending.submitted = Clock::now();
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_update after shutdown");
   }
   {
-    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    util::ReaderMutexLock guard(validate_mutex_);
     if (!writes_pending() && global_row >= index_.stored_count()) {
       throw std::out_of_range("AsyncAmIndex::submit_update: row");
     }
@@ -187,13 +187,13 @@ std::future<WriteReceipt> AsyncAmIndex::submit_insert(std::vector<int> vector) {
   pending.vector = std::move(vector);
   pending.submitted = Clock::now();
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_insert after shutdown");
   }
   {
-    std::shared_lock<std::shared_mutex> guard(validate_mutex_);
+    util::ReaderMutexLock guard(validate_mutex_);
     if (pending.vector.empty() ||
         (index_.stored_count() > 0 &&
          pending.vector.size() != index_.dims())) {
@@ -221,7 +221,7 @@ std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
   if (requests.empty()) return futures;
 
   const auto now = Clock::now();
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(requests.size(), std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_batch after shutdown");
@@ -258,7 +258,7 @@ std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
 void AsyncAmIndex::shutdown() {
   std::uint64_t final_serial = 0;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    util::MutexLock lock(submit_mutex_);
     if (shutdown_) return;
     shutdown_ = true;
     closing_.store(true, std::memory_order_release);
@@ -273,22 +273,25 @@ void AsyncAmIndex::shutdown() {
   // Barrier: straggler submit validators hold validate_mutex_ shared
   // while reading the index; wait them out (new ones bail on closing_)
   // before the index can go back to synchronous mutators.
-  { std::unique_lock<std::shared_mutex> barrier(validate_mutex_); }
+  { util::WriterMutexLock barrier(validate_mutex_); }
   // Hand the advanced serial back while still owning the index (the
   // reverse order would let a concurrent re-wrap seed from the stale
   // serial — and make the guarded setter throw out of a destructor),
-  // then release it back to synchronous use.
+  // then release it back to synchronous use. The dispatchers are
+  // drained and joined, so this wrapper is the sole serialized actor —
+  // assert the mutation capability for the unguarded setter.
+  index_.assert_async_serialized();
   index_.set_query_serial_unguarded(final_serial);
   index_.release_async_owner();
 }
 
 bool AsyncAmIndex::shut_down() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   return shutdown_;
 }
 
 std::uint64_t AsyncAmIndex::query_serial() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  util::MutexLock lock(submit_mutex_);
   return serial_;
 }
 
@@ -361,8 +364,8 @@ void AsyncAmIndex::serve_write(Pending& pending) {
   // every search admitted before it has completed; searches of later
   // epochs are themselves waiting for this write to apply.
   {
-    std::unique_lock<std::mutex> lock(order_mutex_);
-    order_cv_.wait(lock, [&] {
+    util::MutexLock lock(order_mutex_);
+    order_cv_.wait(order_mutex_, [&]() REQUIRES(order_mutex_) {
       return writes_applied_ == pending.write_epoch &&
              searches_completed_ >= pending.searches_before;
     });
@@ -377,8 +380,10 @@ void AsyncAmIndex::serve_write(Pending& pending) {
     // Exclusive against submit-time validators; in-flight searches are
     // excluded by the epoch wait above. The do_* cores bypass the
     // synchronous-mutation guard — this queue provides the
-    // serialization that guard exists to enforce.
-    std::unique_lock<std::shared_mutex> guard(validate_mutex_);
+    // serialization that guard exists to enforce, which is exactly
+    // what the capability assertion below tells the static analysis.
+    util::WriterMutexLock guard(validate_mutex_);
+    index_.assert_async_serialized();
     switch (pending.kind) {
       case Pending::Kind::kRemove:
         receipt = index_.do_remove(pending.row);
@@ -397,7 +402,7 @@ void AsyncAmIndex::serve_write(Pending& pending) {
   // a no-op on the index, exactly as in the synchronous sequence, and
   // later operations must not wait for it forever.
   {
-    std::lock_guard<std::mutex> lock(order_mutex_);
+    util::MutexLock lock(order_mutex_);
     ++writes_applied_;
   }
   order_cv_.notify_all();
@@ -415,8 +420,8 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
   // searches must have applied (writes in turn wait for older searches,
   // so the pair of gates serializes execution in submission order).
   {
-    std::unique_lock<std::mutex> lock(order_mutex_);
-    order_cv_.wait(lock, [&] {
+    util::MutexLock lock(order_mutex_);
+    order_cv_.wait(order_mutex_, [&]() REQUIRES(order_mutex_) {
       return writes_applied_ == batch.front().write_epoch;
     });
   }
@@ -435,7 +440,7 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
   // it (notified on every exit path below).
   const auto note_completed = [&] {
     {
-      std::lock_guard<std::mutex> lock(order_mutex_);
+      util::MutexLock lock(order_mutex_);
       searches_completed_ += batch.size();
     }
     order_cv_.notify_all();

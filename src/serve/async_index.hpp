@@ -65,9 +65,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -77,6 +75,8 @@
 #include "core/profiler.hpp"
 #include "serve/am_index.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ferex::serve {
 
@@ -224,8 +224,9 @@ class AsyncAmIndex {
     std::chrono::steady_clock::time_point submitted{};
   };
 
-  /// True when admitted writes have not all applied yet.
-  bool writes_pending() const;
+  /// True when admitted writes have not all applied yet. Takes
+  /// order_mutex_ internally (callers must not hold it).
+  bool writes_pending() const EXCLUDES(order_mutex_);
   /// Submit-time search validation, run before submit_mutex_ so
   /// submitters do not serialize on the O(dims) query scan. On a
   /// quiescent index the snapshot is authoritative (full
@@ -238,10 +239,12 @@ class AsyncAmIndex {
   /// throw at the request's position in the stream. Only k >= 1 is
   /// always decidable. Throws ShutDown once shutdown has begun (the
   /// index may already be back in synchronous hands).
-  void validate_search_submit(const SearchRequest& request) const;
+  void validate_search_submit(const SearchRequest& request) const
+      EXCLUDES(submit_mutex_);
   /// Shared admission tail of the write submit paths: epoch tagging,
   /// push, counters (submit_mutex_ held, shutdown already checked).
-  std::future<WriteReceipt> admit_write(Pending pending);
+  std::future<WriteReceipt> admit_write(Pending pending)
+      REQUIRES(submit_mutex_);
 
   void dispatch_loop();
   /// Serves one coalesced batch: singles through search_at, larger
@@ -261,36 +264,41 @@ class AsyncAmIndex {
   const AsyncOptions options_;
   util::BoundedQueue<Pending> queue_;
 
-  mutable std::mutex submit_mutex_;  ///< guards serial_ / shutdown_ /
-                                     ///< admission-order counters and
-                                     ///< makes admission + ordinal atomic
-  std::uint64_t serial_ = 0;
-  bool shutdown_ = false;
+  /// Guards serial_ / shutdown_ / admission-order counters and makes
+  /// admission + ordinal assignment atomic.
+  mutable util::Mutex submit_mutex_;
+  std::uint64_t serial_ GUARDED_BY(submit_mutex_) = 0;
+  bool shutdown_ GUARDED_BY(submit_mutex_) = false;
   /// Mirrors shutdown_ for lock-free reads in the pre-lock validators;
   /// set under submit_mutex_, synchronized by the validate_mutex_
   /// barrier shutdown() takes before releasing the index.
   std::atomic<bool> closing_{false};
   /// Writes accepted so far. Written only under submit_mutex_; atomic
-  /// so the pre-lock validators can consult quiescence without it.
+  /// (GUARDED_BY-exempt) so the pre-lock validators can consult
+  /// quiescence without the lock.
   std::atomic<std::uint64_t> writes_admitted_{0};
-  std::uint64_t searches_admitted_ = 0;  ///< searches accepted so far
+  /// Searches accepted so far.
+  std::uint64_t searches_admitted_ GUARDED_BY(submit_mutex_) = 0;
 
   /// Execution-order state: dispatchers wait on order_cv_ until the
   /// counters reach their op's tags (see Pending). Because a write
   /// applies strictly after every earlier search completed and before
   /// any later one starts (all signalled through this mutex), search
   /// execution itself needs no lock against write application.
-  mutable std::mutex order_mutex_;
-  std::condition_variable order_cv_;
-  std::uint64_t writes_applied_ = 0;
-  std::uint64_t searches_completed_ = 0;
+  mutable util::Mutex order_mutex_;
+  std::condition_variable_any order_cv_;
+  std::uint64_t writes_applied_ GUARDED_BY(order_mutex_) = 0;
+  std::uint64_t searches_completed_ GUARDED_BY(order_mutex_) = 0;
 
   /// Guards submit-time validation (which reads backend state) against
   /// concurrent write application: validators hold it shared, the
   /// applying dispatcher exclusively.
-  mutable std::shared_mutex validate_mutex_;
+  mutable util::SharedMutex validate_mutex_;
 
-  std::vector<std::thread> dispatchers_;
+  /// Waived from the repo linter's raw-thread rule: dispatcher threads
+  /// are this subsystem's purpose, and their lifecycle is owned end to
+  /// end by the constructor/shutdown() pair (joined, never detached).
+  std::vector<std::thread> dispatchers_;  // ferex-lint: allow(raw-thread)
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};

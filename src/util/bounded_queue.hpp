@@ -17,14 +17,19 @@
 // Plain mutex + condition variable: the pool's fan-out work never flows
 // through this queue (items are whole requests, microseconds of work
 // each), so lock-free cleverness would buy nothing and cost TSan-proof
-// simplicity.
+// simplicity. The mutex/CV protocol is annotated for Clang's
+// thread-safety analysis: items_ and closed_ are GUARDED_BY(mutex_),
+// and pop_locked is REQUIRES(mutex_) — an unlocked access is a compile
+// error on the `static-analysis` CI leg.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ferex::util {
 
@@ -42,7 +47,7 @@ class BoundedQueue {
   /// way — never blocks). A failed push leaves `item` moved-from.
   bool try_push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -53,23 +58,25 @@ class BoundedQueue {
   /// Blocks until an item arrives or the queue is closed *and* drained;
   /// false only in the latter case (drain mode still hands out items).
   bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    ready_.wait(mutex_,
+                [&]() REQUIRES(mutex_) { return closed_ || !items_.empty(); });
     return pop_locked(out);
   }
 
   /// Non-blocking pop; false when nothing is immediately available.
   bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return pop_locked(out);
   }
 
   /// Blocks until an item arrives, the deadline passes, or the queue is
   /// closed and drained; false when no item was handed out.
   bool pop_until(T& out, std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait_until(lock, deadline,
-                      [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    ready_.wait_until(mutex_, deadline, [&]() REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     return pop_locked(out);
   }
 
@@ -77,26 +84,26 @@ class BoundedQueue {
   /// items stay poppable (drain mode). Idempotent.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  bool pop_locked(T& out) {
+  bool pop_locked(T& out) REQUIRES(mutex_) {
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -104,10 +111,11 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  /// _any: waits directly on the annotated Mutex (BasicLockable).
+  std::condition_variable_any ready_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ferex::util

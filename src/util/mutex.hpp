@@ -1,0 +1,116 @@
+// Annotated lock primitives the Clang thread-safety analysis can see.
+//
+// libstdc++'s std::mutex / std::shared_mutex / std::lock_guard carry no
+// capability annotations, so code locking through them is invisible to
+// `-Wthread-safety`: a GUARDED_BY field would warn on every access even
+// under a correctly held std::lock_guard. These wrappers are the same
+// primitives with the capability vocabulary attached — zero runtime
+// cost (every member is a forwarding inline call) and drop-in scoped
+// lockers in the Abseil style (MutexLock / ReaderMutexLock /
+// WriterMutexLock).
+//
+// Condition variables: wait with std::condition_variable_any directly
+// on the Mutex (it satisfies BasicLockable). The analysis does not see
+// the unlock/relock inside wait(), which is exactly right — the
+// capability is held on both sides of the call, and a predicate lambda
+// reading guarded state must be annotated REQUIRES(mutex).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace ferex::util {
+
+/// Tag type: the scoped locker adopts a capability the caller already
+/// holds (e.g. after a successful try_lock()) instead of acquiring it.
+struct adopt_lock_t {
+  explicit adopt_lock_t() = default;
+};
+inline constexpr adopt_lock_t adopt_lock{};
+
+/// std::mutex with the exclusive-capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with shared/exclusive capability annotations.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex (std::lock_guard with annotations).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  /// Adopts a mutex the caller locked (try_lock fast paths).
+  MutexLock(Mutex& mu, adopt_lock_t) REQUIRES(mu) : mu_(mu) {}
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over SharedMutex (writer side).
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock over SharedMutex (reader side). The destructor is
+/// RELEASE_GENERIC: a scoped capability's release must match however it
+/// was acquired, and this one only ever acquires shared.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace ferex::util

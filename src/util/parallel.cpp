@@ -11,11 +11,17 @@
 #include <thread>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace ferex::util {
 
 namespace {
 
 std::size_t detect_pool_width() noexcept {
+  // Read once at startup, before any worker exists — the lone getenv is
+  // not a concurrency hazard here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("FEREX_POOL_WIDTH")) {
     char* end = nullptr;
     const unsigned long v = std::strtoul(env, &end, 10);
@@ -44,6 +50,10 @@ thread_local std::size_t tls_participant = 0;
 /// drains lane p first, then steals from the other lanes; `next` then
 /// counts *claimed* items so the workers' wait predicate and the
 /// error-stop path stay identical across both schedules.
+///
+/// Concurrency: `fn`, `n`, `lanes` are set once before publication and
+/// immutable after; the cursors and `active` are atomics (no capability
+/// needed); only `first_error` takes a lock.
 struct Job {
   Job(const std::function<void(std::size_t)>& f, std::size_t count,
       std::size_t lane_count)
@@ -59,8 +69,8 @@ struct Job {
   std::unique_ptr<std::atomic<std::size_t>[]> lane_next;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> active{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
+  std::exception_ptr first_error GUARDED_BY(error_mutex);
 };
 
 class WorkerPool {
@@ -75,12 +85,13 @@ class WorkerPool {
     // One top-level job at a time; a second caller runs inline rather
     // than queueing (it makes progress either way, and results never
     // depend on the schedule).
-    std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
-    if (!submit.owns_lock()) {
+    if (!submit_mutex_.try_lock()) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    std::call_once(spawn_once_, [this] { spawn_workers(); });
+    MutexLock submit(submit_mutex_, adopt_lock);
+    std::call_once(spawn_once_,
+                   [this]() REQUIRES(submit_mutex_) { spawn_workers(); });
     if (workers_.empty()) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
@@ -90,7 +101,7 @@ class WorkerPool {
     // the submitter (lane 0) plus the workers that really spawned.
     Job job(fn, n, affine ? workers_.size() + 1 : 0);
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       job.active.store(1, std::memory_order_relaxed);  // the submitter
       job_ = &job;
     }
@@ -103,15 +114,23 @@ class WorkerPool {
     drain(job, /*participant=*/0);
     tls_pool_worker = false;
     {
-      std::unique_lock<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       job.active.fetch_sub(1, std::memory_order_acq_rel);
-      done_cv_.wait(lock, [&] {
+      done_cv_.wait(job_mutex_, [&] {
         return job.active.load(std::memory_order_acquire) == 0;
       });
       job_ = nullptr;  // workers re-check under job_mutex_, so the stack
                        // Job cannot be touched after this point
     }
-    if (job.first_error) std::rethrow_exception(job.first_error);
+    std::exception_ptr error;
+    {
+      // Every participant has deregistered, but take the error lock
+      // anyway: it is uncontended here and keeps the GUARDED_BY story
+      // airtight for the analysis.
+      MutexLock lock(job.error_mutex);
+      error = job.first_error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -119,14 +138,17 @@ class WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       stop_ = true;
     }
     job_cv_.notify_all();
+    // Joining under submit_mutex_ is deadlock-free (workers never take
+    // it) and satisfies workers_'s capability for the analysis.
+    MutexLock submit(submit_mutex_);
     for (auto& t : workers_) t.join();
   }
 
-  void spawn_workers() {
+  void spawn_workers() REQUIRES(submit_mutex_) {
     const std::size_t width = pool_width();
     if (width <= 1) return;
     workers_.reserve(width - 1);
@@ -146,8 +168,8 @@ class WorkerPool {
     for (;;) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(job_mutex_);
-        job_cv_.wait(lock, [&] {
+        MutexLock lock(job_mutex_);
+        job_cv_.wait(job_mutex_, [&]() REQUIRES(job_mutex_) {
           return stop_ ||
                  (job_ != nullptr &&
                   job_->next.load(std::memory_order_relaxed) < job_->n);
@@ -160,7 +182,7 @@ class WorkerPool {
       }
       drain(*job, tls_participant);
       {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(job_mutex_);
         if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           done_cv_.notify_all();
         }
@@ -169,7 +191,7 @@ class WorkerPool {
   }
 
   static void record_error(Job& job) {
-    std::lock_guard<std::mutex> lock(job.error_mutex);
+    MutexLock lock(job.error_mutex);
     if (!job.first_error) job.first_error = std::current_exception();
     // Stop handing out work once something failed (both schedules gate
     // their claims on next < n).
@@ -216,14 +238,16 @@ class WorkerPool {
     }
   }
 
-  std::mutex submit_mutex_;  ///< serializes top-level jobs
-  std::mutex job_mutex_;     ///< guards job_ / stop_ and both CVs
-  std::condition_variable job_cv_;   ///< workers wait here for a job
-  std::condition_variable done_cv_;  ///< submitter waits for fan-in
-  Job* job_ = nullptr;
-  bool stop_ = false;
+  /// Serializes top-level jobs; always taken before job_mutex_.
+  Mutex submit_mutex_ ACQUIRED_BEFORE(job_mutex_);
+  Mutex job_mutex_;  ///< guards job_ / stop_ and both CVs
+  /// _any variants: they wait directly on the annotated Mutex.
+  std::condition_variable_any job_cv_;   ///< workers wait here for a job
+  std::condition_variable_any done_cv_;  ///< submitter waits for fan-in
+  Job* job_ GUARDED_BY(job_mutex_) = nullptr;
+  bool stop_ GUARDED_BY(job_mutex_) = false;
   std::once_flag spawn_once_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ GUARDED_BY(submit_mutex_);
 };
 
 }  // namespace

@@ -1,0 +1,13 @@
+// Clean fixture: ferex_lint must exit 0 here. Includes near-miss
+// tokens that the rules must NOT fire on.
+#include <cstdint>
+
+namespace ferex_fixture {
+
+// "rand" inside an identifier is not a rand() call.
+int operand_count(int operands) { return operands; }
+
+// A string literal mentioning std::thread is not a spawn.
+const char* kDoc = "serving code must not use std::thread directly";
+
+}  // namespace ferex_fixture

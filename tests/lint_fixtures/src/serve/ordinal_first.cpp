@@ -1,0 +1,20 @@
+// Violation fixture: an ordinal consumed before any validation call in
+// the same entry point (ordinal-before-validate).
+#include <cstdint>
+
+namespace ferex_fixture {
+
+class Index {
+ public:
+  std::uint64_t assign_then_validate() {
+    const std::uint64_t ordinal = query_serial_++;  // advance first: fires
+    validate_request();
+    return ordinal;
+  }
+
+ private:
+  void validate_request() {}
+  std::uint64_t query_serial_ = 0;
+};
+
+}  // namespace ferex_fixture

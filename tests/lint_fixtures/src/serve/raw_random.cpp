@@ -1,0 +1,8 @@
+// Violation fixture: ad-hoc RNG outside src/util/rng (raw-random).
+#include <cstdlib>
+
+namespace ferex_fixture {
+
+int roll_die() { return std::rand() % 6 + 1; }
+
+}  // namespace ferex_fixture

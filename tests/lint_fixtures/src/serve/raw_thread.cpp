@@ -1,0 +1,11 @@
+// Violation fixture: naked std::thread in serving code (raw-thread).
+#include <thread>
+
+namespace ferex_fixture {
+
+void spawn_unmanaged() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace ferex_fixture

@@ -1,0 +1,21 @@
+// Violation fixture: a public AmIndex mutator that skips the
+// check_mutable guard before its do_* core (guarded-mutator).
+namespace ferex_fixture {
+
+struct WriteReceipt {};
+
+class AmIndex {
+ public:
+  WriteReceipt insert(int row);
+
+ private:
+  WriteReceipt do_insert(int row);
+};
+
+WriteReceipt AmIndex::insert(int row) {
+  return do_insert(row);  // no check_mutable: the rule must fire
+}
+
+WriteReceipt AmIndex::do_insert(int) { return {}; }
+
+}  // namespace ferex_fixture

@@ -1,0 +1,14 @@
+// Waiver fixture: the same raw-thread violation as raw_thread.cpp, but
+// carrying the inline waiver — ferex_lint must exit 0.
+#include <thread>
+
+namespace ferex_fixture {
+
+void spawn_waived() {
+  // Justification would go here in real code (e.g. a dispatcher whose
+  // lifetime is owned by this class).
+  std::thread worker([] {});  // ferex-lint: allow(raw-thread)
+  worker.join();
+}
+
+}  // namespace ferex_fixture

@@ -1,0 +1,9 @@
+// Violation fixture: a committed diagnostic suppression with no
+// compiler-version expiry guard (pragma-expiry).
+#pragma GCC diagnostic ignored "-Wunused-parameter"
+
+namespace ferex_fixture {
+
+int identity(int value) { return value; }
+
+}  // namespace ferex_fixture

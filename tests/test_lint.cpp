@@ -1,0 +1,124 @@
+// Static-analysis tooling tests: ferex_lint fires the expected rule id
+// on each seeded violation fixture, honors waivers, passes the clean
+// fixture, and — the gate that matters — finds the real tree clean.
+// Also covers bench_compare's malformed-input contract (exit 2, path
+// named), since both tools share the "diagnose, don't guess" bar.
+//
+// The binaries under test are located via compile definitions wired in
+// CMakeLists.txt (FEREX_LINT_BIN / FEREX_BENCH_COMPARE_BIN /
+// FEREX_SOURCE_ROOT); when tools are disabled the suite skips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#if defined(FEREX_LINT_BIN) && defined(FEREX_BENCH_COMPARE_BIN) && \
+    defined(FEREX_SOURCE_ROOT)
+
+#include <sys/wait.h>
+
+namespace {
+
+std::string fixture(const std::string& rel) {
+  return std::string(FEREX_SOURCE_ROOT) + "/tests/lint_fixtures/" + rel;
+}
+
+/// Runs `cmd` with stderr folded into stdout; returns the exit code
+/// (-1 when the child died on a signal or popen itself failed).
+int run(const std::string& cmd, std::string& output) {
+  output.clear();
+  // NOLINTNEXTLINE(cert-env33-c,concurrency-mt-unsafe) — test harness
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  const int status = pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+int lint(const std::string& target, std::string& output) {
+  return run(std::string(FEREX_LINT_BIN) + " " + target, output);
+}
+
+TEST(FerexLint, CleanFixturePasses) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("clean.cpp"), out), 0) << out;
+  EXPECT_EQ(out, "");
+}
+
+TEST(FerexLint, WaivedViolationPasses) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/waived_thread.cpp"), out), 0) << out;
+}
+
+TEST(FerexLint, FlagsRawThread) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/raw_thread.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("raw-thread"), std::string::npos) << out;
+}
+
+TEST(FerexLint, FlagsRawRandom) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/raw_random.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("raw-random"), std::string::npos) << out;
+}
+
+TEST(FerexLint, FlagsUnguardedMutator) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/unguarded_mutator.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("guarded-mutator"), std::string::npos) << out;
+}
+
+TEST(FerexLint, FlagsOrdinalBeforeValidate) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/ordinal_first.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("ordinal-before-validate"), std::string::npos) << out;
+}
+
+TEST(FerexLint, FlagsUnguardedPragma) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("unguarded_pragma.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("pragma-expiry"), std::string::npos) << out;
+}
+
+TEST(FerexLint, MissingPathExitsTwo) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("does_not_exist.cpp"), out), 2) << out;
+}
+
+// The invariant the whole PR rides on: the shipped tree is lint-clean,
+// so any future violation is a red CI, not a slow drift.
+TEST(FerexLint, RealTreeIsClean) {
+  std::string out;
+  EXPECT_EQ(lint(std::string(FEREX_SOURCE_ROOT), out), 0) << out;
+}
+
+TEST(BenchCompare, MalformedJsonExitsTwoNamingPath) {
+  const std::string bad = fixture("bench_malformed.json");
+  std::string out;
+  const int code =
+      run(std::string(FEREX_BENCH_COMPARE_BIN) + " " + bad + " " + bad, out);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find(bad), std::string::npos) << out;
+  EXPECT_NE(out.find("malformed number"), std::string::npos) << out;
+}
+
+TEST(BenchCompare, UnreadableFileExitsTwoNamingPath) {
+  const std::string missing = fixture("no_such_snapshot.json");
+  std::string out;
+  const int code = run(
+      std::string(FEREX_BENCH_COMPARE_BIN) + " " + missing + " " + missing,
+      out);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find(missing), std::string::npos) << out;
+}
+
+}  // namespace
+
+#else  // tools disabled: nothing to exercise
+
+TEST(FerexLint, SkippedWithoutTools) {
+  GTEST_SKIP() << "FEREX_BUILD_TOOLS=OFF: lint binaries not built";
+}
+
+#endif

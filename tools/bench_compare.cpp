@@ -63,7 +63,18 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
     if (at == std::string::npos) return std::string::npos;
     const std::size_t colon = text.find(':', at);
     if (colon == std::string::npos) return std::string::npos;
-    out = std::strtod(text.c_str() + colon + 1, nullptr);
+    // Validate that a number was actually consumed: strtod returns 0.0
+    // for garbage, which would silently pass a corrupted snapshot
+    // through the gate as "qps collapsed to zero" or worse, "no
+    // regression" (when the baseline is the corrupt side).
+    const char* start = text.c_str() + colon + 1;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) {
+      std::fprintf(stderr, "bench_compare: %s: malformed number for %s\n",
+                   path.c_str(), key);
+      return std::string::npos;
+    }
     return at;
   };
 

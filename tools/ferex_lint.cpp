@@ -1,0 +1,553 @@
+// ferex_lint — repo-invariant checker for conventions the compiler
+// cannot see. Token/structure level on purpose: no AST, no compile
+// flags, so it runs in milliseconds on any checkout and never drifts
+// out of sync with the build.
+//
+// Rules (ids are what the output and the waiver syntax use):
+//   raw-thread     Serving/core code (src/, except src/util/) must not
+//                  spawn naked std::thread/std::jthread/std::async —
+//                  concurrency goes through util::parallel_for or the
+//                  AsyncAmIndex dispatchers.
+//   raw-random     No rand()/srand()/std::random_device outside
+//                  src/util/rng.* — determinism is a repo invariant
+//                  (seeded SplitMix64 everywhere).
+//   guarded-mutator  Every public AmIndex mutator definition
+//                  (configure/store/insert/remove/update) must call
+//                  check_mutable and delegate to its do_* core — the
+//                  template-method contract the async layer relies on.
+//   ordinal-before-validate  Inside one function, an ordinal advance
+//                  (++serial_ / serial_++ / query_serial_++ /
+//                  ++query_serial_ / serial_ = next /
+//                  query_serial_ = next) must come after a validate_*
+//                  or check_* call (the repo's two validation-helper
+//                  naming conventions) — a rejected request must never
+//                  consume an ordinal.
+//   pragma-expiry  A committed `#pragma GCC diagnostic` must sit under
+//                  an #if with an upper compiler-version bound
+//                  (`__GNUC__ < N`) within the 10 preceding lines, so
+//                  suppressions expire instead of outliving the bug
+//                  they worked around.
+//
+// Waiver: append `// ferex-lint: allow(<rule-id>)` on the offending
+// line, with a justifying comment nearby. Waivers are part of the
+// reviewed diff — that is the point.
+//
+// Usage: ferex_lint [path...]   (default: current directory)
+// Directories are walked recursively; build*/.*/_deps/lint_fixtures
+// directories are skipped. Explicitly named files are always scanned.
+// Exit codes: 0 clean, 1 violations found, 2 I/O error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comments and string/char literals (newlines kept, so
+/// positions still map to line numbers). Token rules run on the result;
+/// waiver detection runs on the raw text, where the comments live.
+std::string strip(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' && (i == 0 || !is_ident(text[i - 1]))) {
+          // R"delim( — capture the delimiter so the close matches.
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < text.size() && text[p] != '(') raw_delim += text[p++];
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident(text[i - 1]))) {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < text.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < text.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size(); ++k) out[i + k] = ' ';
+          i += close.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+/// The raw source line `line` (1-based), for waiver checks and reports.
+std::string raw_line(const std::string& text, std::size_t line) {
+  std::size_t start = 0;
+  for (std::size_t l = 1; l < line; ++l) {
+    start = text.find('\n', start);
+    if (start == std::string::npos) return "";
+    ++start;
+  }
+  const std::size_t end = text.find('\n', start);
+  return text.substr(start, end == std::string::npos ? end : end - start);
+}
+
+bool waived(const std::string& raw, std::size_t line, const std::string& rule) {
+  const std::string tag = "ferex-lint: allow(" + rule + ")";
+  return raw_line(raw, line).find(tag) != std::string::npos;
+}
+
+struct FileCheck {
+  const std::string& path;     ///< forward-slash path, used for scoping
+  const std::string& raw;      ///< original text (waivers, line lookup)
+  const std::string& code;     ///< comment/string-stripped text
+  std::vector<Violation>& out;
+
+  void report(std::size_t pos, const char* rule, std::string message) const {
+    const std::size_t line = line_of(code, pos);
+    if (waived(raw, line, rule)) return;
+    out.push_back({path, line, rule, std::move(message)});
+  }
+
+  bool in(const char* fragment) const {
+    return path.find(fragment) != std::string::npos;
+  }
+};
+
+// ------------------------------------------------------------ raw-thread --
+void check_raw_thread(const FileCheck& f) {
+  if (!f.in("src/") || f.in("src/util/")) return;
+  static constexpr std::string_view kTokens[] = {"std::thread", "std::jthread",
+                                                 "std::async"};
+  for (const auto token : kTokens) {
+    for (std::size_t pos = f.code.find(token); pos != std::string::npos;
+         pos = f.code.find(token, pos + 1)) {
+      if (pos > 0 && is_ident(f.code[pos - 1])) continue;
+      const std::size_t after = pos + token.size();
+      if (after < f.code.size() && is_ident(f.code[after])) continue;
+      // std::thread::hardware_concurrency is a capability query, not a
+      // spawn — static member access stays legal.
+      if (f.code.compare(after, 2, "::") == 0) continue;
+      f.report(pos, "raw-thread",
+               std::string(token) +
+                   " outside src/util/ — use util::parallel_for or the "
+                   "serving dispatchers");
+    }
+  }
+}
+
+// ------------------------------------------------------------ raw-random --
+void check_raw_random(const FileCheck& f) {
+  if (f.in("src/util/rng")) return;
+  static constexpr std::string_view kTokens[] = {
+      "std::random_device", "std::rand", "std::srand", "srand", "rand"};
+  for (const auto token : kTokens) {
+    for (std::size_t pos = f.code.find(token); pos != std::string::npos;
+         pos = f.code.find(token, pos + 1)) {
+      if (pos > 0 && (is_ident(f.code[pos - 1]) || f.code[pos - 1] == ':')) {
+        continue;  // part of a longer identifier, or already matched
+                   // via the std::-qualified token
+      }
+      const std::size_t after = pos + token.size();
+      if (after < f.code.size() && is_ident(f.code[after])) continue;
+      // Bare rand/srand must be a call to count (a local named `rand`
+      // would be questionable style but is not this rule's business).
+      if (token == "srand" || token == "rand") {
+        std::size_t p = after;
+        while (p < f.code.size() &&
+               std::isspace(static_cast<unsigned char>(f.code[p])) != 0) {
+          ++p;
+        }
+        if (p >= f.code.size() || f.code[p] != '(') continue;
+      }
+      f.report(pos, "raw-random",
+               std::string(token) +
+                   " outside src/util/rng — all randomness is seeded "
+                   "through util::SplitMix64");
+    }
+  }
+}
+
+// ------------------------------------------------------- guarded-mutator --
+void check_guarded_mutator(const FileCheck& f) {
+  if (f.path.size() < 4 || f.path.compare(f.path.size() - 4, 4, ".cpp") != 0) {
+    return;
+  }
+  static constexpr std::string_view kOps[] = {"configure", "store", "insert",
+                                              "remove", "update"};
+  for (const auto op : kOps) {
+    const std::string needle = "AmIndex::" + std::string(op) + "(";
+    for (std::size_t pos = f.code.find(needle); pos != std::string::npos;
+         pos = f.code.find(needle, pos + 1)) {
+      // Boundary: excludes AsyncAmIndex:: and any FooAmIndex:: wrapper.
+      if (pos > 0 && is_ident(f.code[pos - 1])) continue;
+      // Definition (next structural token is '{') vs declaration/call.
+      std::size_t p = pos + needle.size();
+      int parens = 1;
+      while (p < f.code.size() && parens > 0) {
+        if (f.code[p] == '(') ++parens;
+        if (f.code[p] == ')') --parens;
+        ++p;
+      }
+      while (p < f.code.size() && f.code[p] != '{' && f.code[p] != ';') ++p;
+      if (p >= f.code.size() || f.code[p] != '{') continue;
+      const std::size_t body_open = p;
+      int braces = 1;
+      ++p;
+      while (p < f.code.size() && braces > 0) {
+        if (f.code[p] == '{') ++braces;
+        if (f.code[p] == '}') --braces;
+        ++p;
+      }
+      const std::string_view body(f.code.data() + body_open, p - body_open);
+      const std::string core = "do_" + std::string(op);
+      const bool has_guard = body.find("check_mutable") != std::string_view::npos;
+      const bool has_core = body.find(core) != std::string_view::npos;
+      if (!has_guard || !has_core) {
+        f.report(pos, "guarded-mutator",
+                 "AmIndex::" + std::string(op) + " must call check_mutable " +
+                     "and delegate to " + core +
+                     " (template-method write contract)");
+      }
+    }
+  }
+}
+
+// ----------------------------------------------- ordinal-before-validate --
+/// True when the '{' at `pos` opens a function (or lambda) body rather
+/// than a class/namespace/enum/control-statement/initializer block.
+bool opens_function(const std::string& code, std::size_t pos) {
+  std::size_t p = pos;
+  static constexpr std::string_view kSkippable[] = {"const", "noexcept",
+                                                    "override", "final",
+                                                    "mutable"};
+  for (;;) {
+    while (p > 0 &&
+           std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+      --p;
+    }
+    if (p == 0) return false;
+    const char c = code[p - 1];
+    if (is_ident(c)) {
+      std::size_t start = p;
+      while (start > 0 && is_ident(code[start - 1])) --start;
+      const std::string_view word(code.data() + start, p - start);
+      bool skip = false;
+      for (const auto s : kSkippable) skip = skip || word == s;
+      if (!skip) return false;  // struct/namespace name, else/do/try, ...
+      p = start;
+      continue;
+    }
+    if (c == ')') {
+      // Walk back over the parameter list; a control-flow keyword in
+      // front of the '(' means this is if/for/while/switch/catch.
+      int parens = 0;
+      while (p > 0) {
+        --p;
+        if (code[p] == ')') ++parens;
+        if (code[p] == '(') {
+          --parens;
+          if (parens == 0) break;
+        }
+      }
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+        --p;
+      }
+      std::size_t start = p;
+      while (start > 0 && is_ident(code[start - 1])) --start;
+      const std::string_view word(code.data() + start, p - start);
+      static constexpr std::string_view kControl[] = {"if", "for", "while",
+                                                      "switch", "catch"};
+      for (const auto k : kControl) {
+        if (word == k) return false;
+      }
+      return true;  // function definition, ctor init entry, or lambda
+    }
+    return false;  // '=', ',', '{', ':', ... — aggregate or scope block
+  }
+}
+
+void check_ordinal_before_validate(const FileCheck& f) {
+  if (!f.in("src/")) return;
+  const std::string& code = f.code;
+
+  struct Frame {
+    bool is_function = false;
+    bool validated = false;
+  };
+  std::vector<Frame> stack;
+  const auto innermost_function = [&]() -> Frame* {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->is_function) return &*it;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t pos = 0; pos < code.size(); ++pos) {
+    const char c = code[pos];
+    if (c == '{') {
+      stack.push_back({opens_function(code, pos), false});
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (!is_ident(c) || (pos > 0 && is_ident(code[pos - 1]))) continue;
+    std::size_t end = pos;
+    while (end < code.size() && is_ident(code[end])) ++end;
+    const std::string_view word(code.data() + pos, end - pos);
+
+    const bool is_validation_call =
+        (word.size() >= 9 && word.substr(0, 9) == "validate_") ||
+        (word.size() >= 6 && word.substr(0, 6) == "check_");
+    if (is_validation_call) {
+      // Mark the enclosing function and everything nested inside it.
+      bool inside = false;
+      for (auto& frame : stack) {
+        inside = inside || frame.is_function;
+        if (inside) frame.validated = true;
+      }
+    } else if (word == "serial_" || word == "query_serial_") {
+      // An *advance* is ++x / x++ / x = next; plain reads are free.
+      std::size_t before = pos;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1])) != 0) {
+        --before;
+      }
+      const bool pre_inc =
+          before >= 2 && code[before - 1] == '+' && code[before - 2] == '+';
+      std::size_t after = end;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+        ++after;
+      }
+      const bool post_inc = code.compare(after, 2, "++") == 0;
+      bool assign_next = false;
+      if (after < code.size() && code[after] == '=' &&
+          (after + 1 >= code.size() || code[after + 1] != '=')) {
+        std::size_t rhs = after + 1;
+        while (rhs < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[rhs])) != 0) {
+          ++rhs;
+        }
+        assign_next = code.compare(rhs, 4, "next") == 0 &&
+                      (rhs + 4 >= code.size() || !is_ident(code[rhs + 4]));
+      }
+      if (pre_inc || post_inc || assign_next) {
+        Frame* fn = innermost_function();
+        if (fn != nullptr && !fn->validated) {
+          f.report(pos, "ordinal-before-validate",
+                   std::string(word) +
+                       " advanced before any validate_*/check_mutable call "
+                       "in this function — rejected requests must not "
+                       "consume ordinals");
+        }
+      }
+    }
+    pos = end - 1;
+  }
+}
+
+// --------------------------------------------------------- pragma-expiry --
+void check_pragma_expiry(const FileCheck& f) {
+  const std::string needle = "#pragma";
+  for (std::size_t pos = f.code.find(needle); pos != std::string::npos;
+       pos = f.code.find(needle, pos + 1)) {
+    const std::size_t line = line_of(f.code, pos);
+    if (raw_line(f.raw, line).find("GCC diagnostic") == std::string::npos) {
+      continue;
+    }
+    bool has_if = false;
+    bool has_upper_bound = false;
+    const std::size_t first =
+        line > 10 ? line - 10 : static_cast<std::size_t>(1);
+    for (std::size_t l = first; l < line; ++l) {
+      const std::string above = raw_line(f.raw, l);
+      has_if = has_if || above.find("#if") != std::string::npos;
+      const std::size_t g = above.find("__GNUC__");
+      if (g != std::string::npos) {
+        std::size_t p = g + std::string_view("__GNUC__").size();
+        while (p < above.size() &&
+               std::isspace(static_cast<unsigned char>(above[p])) != 0) {
+          ++p;
+        }
+        if (p < above.size() && above[p] == '<') has_upper_bound = true;
+      }
+    }
+    if (!has_if || !has_upper_bound) {
+      f.report(pos, "pragma-expiry",
+               "#pragma GCC diagnostic without a version-bounded guard "
+               "(#if ... __GNUC__ < N) in the 10 lines above — "
+               "suppressions must expire");
+    }
+  }
+}
+
+// --------------------------------------------------------------- driver --
+bool scan_file(const fs::path& file, std::vector<Violation>& out) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "ferex_lint: cannot read %s\n", file.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::string code = strip(raw);
+  const std::string path = file.generic_string();
+  const FileCheck f{path, raw, code, out};
+  check_raw_thread(f);
+  check_raw_random(f);
+  check_guarded_mutator(f);
+  check_ordinal_before_validate(f);
+  check_pragma_expiry(f);
+  return true;
+}
+
+bool lintable(const fs::path& file) {
+  const std::string ext = file.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skip_dir(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name.empty() || name[0] == '.' || name == "_deps" ||
+         name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         name.rfind("cmake-build", 0) == 0;
+}
+
+bool scan(const fs::path& root, std::vector<Violation>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) return scan_file(root, out);
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "ferex_lint: no such file or directory: %s\n",
+                 root.c_str());
+    return false;
+  }
+  bool ok = true;
+  fs::recursive_directory_iterator it(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "ferex_lint: cannot walk %s: %s\n", root.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  for (const fs::recursive_directory_iterator end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::fprintf(stderr, "ferex_lint: walk error under %s: %s\n",
+                   root.c_str(), ec.message().c_str());
+      return false;
+    }
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path())) {
+      ok = scan_file(it->path(), out) && ok;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back(".");
+
+  std::vector<Violation> violations;
+  for (const auto& root : roots) {
+    if (!scan(root, violations)) return 2;
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.path != b.path ? a.path < b.path : a.line < b.line;
+            });
+  for (const auto& v : violations) {
+    std::printf("%s:%zu: %s: %s\n", v.path.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("ferex_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}
