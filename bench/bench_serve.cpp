@@ -27,12 +27,19 @@
 //                      end-to-end reservoir over both kinds. The gap to
 //                      *_serve_async is the price of write barriers.
 //
-// Usage: bench_serve [--json <path>] [rows] [dims] [queries]
+// With --durability the binary instead measures the persistence layer
+// (snapshot save/load throughput, WAL append cost with and without
+// fsync, recovery time vs log length) — see run_durability below; the
+// records land in BENCH_durable.json under the same schema-v2 gate.
+//
+// Usage: bench_serve [--durability] [--json <path>] [rows] [dims] [queries]
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,7 +47,11 @@
 #include "data/datasets.hpp"
 #include "serve/async_index.hpp"
 #include "serve/banked_index.hpp"
+#include "serve/durable.hpp"
 #include "serve/engine_index.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/wal.hpp"
+#include "util/durable_file.hpp"
 
 #include "bench_json.hpp"
 
@@ -199,10 +210,157 @@ ServeNumbers measure(const std::string& prefix, std::size_t rows,
   return numbers;
 }
 
+// Persistence-layer measurements, emitted as schema-v2 records so the
+// same bench_compare gate that watches serve throughput watches
+// durability cost:
+//
+//   *_snapshot_save     save_snapshot() per call — encode + atomic
+//                       write (temp, fsync, rename, dir fsync).
+//   *_snapshot_load     fresh index + load_snapshot() per call, so the
+//                       number is the full cold-start path.
+//   wal_append_fsync    one insert record per append, fsync-on-commit —
+//                       the write-path tax every durable mutation pays.
+//   wal_append_nosync   same records, SyncPolicy::kNever; the p50 gap
+//                       to the fsync mode is the pure fsync cost.
+//   engine_recover_*_log  recover_index() over a WAL of n_ops (short)
+//                       or 4*n_ops (long) insert records — recovery
+//                       time should scale with log length, which is
+//                       what checkpointing exists to bound.
+int run_durability(std::size_t rows, std::size_t dims, std::size_t n_ops,
+                   const std::string& json_path) {
+  namespace fs = std::filesystem;
+  std::string dir =
+      (fs::temp_directory_path() / "ferex_durability_XXXXXX").string();
+  if (::mkdtemp(dir.data()) == nullptr) {
+    std::perror("bench_serve: mkdtemp");
+    return 1;
+  }
+
+  const auto db = data::random_int_vectors(rows, dims, 4, 1);
+  const auto fresh = data::random_int_vectors(n_ops, dims, 4, 5);
+  constexpr std::size_t kSnapshotIters = 16;
+  constexpr std::size_t kRecoverIters = 8;
+
+  std::printf("bench_serve --durability: %zu rows x %zu dims, %zu ops\n\n",
+              rows, dims, n_ops);
+  std::vector<benchjson::Record> records;
+
+  const auto snapshot_modes = [&](const char* prefix, serve::AmIndex& index,
+                                  auto make_fresh) {
+    const std::string path = dir + "/snapshot.ferex";
+    const double mb =
+        static_cast<double>(serve::encode_snapshot(index, 0).size()) /
+        (1024.0 * 1024.0);
+    auto save = base_record(std::string(prefix) + "_snapshot_save", rows,
+                            dims);
+    benchjson::fill_timing(
+        save,
+        benchjson::time_calls(
+            kSnapshotIters,
+            [&](std::size_t) { serve::save_snapshot(index, path, 0); }),
+        1);
+    records.push_back(save);
+    auto load = base_record(std::string(prefix) + "_snapshot_load", rows,
+                            dims);
+    benchjson::fill_timing(load,
+                           benchjson::time_calls(kSnapshotIters,
+                                                 [&](std::size_t) {
+                                                   auto target = make_fresh();
+                                                   (void)serve::load_snapshot(
+                                                       *target, path);
+                                                 }),
+                           1);
+    records.push_back(load);
+    util::remove_file(path);
+    std::printf("%-6s snapshot %6.3f MB   save %7.1f MB/s   load %7.1f MB/s\n",
+                prefix, mb, save.qps * mb, load.qps * mb);
+  };
+
+  {
+    serve::EngineIndex index;
+    index.configure(csp::DistanceMetric::kHamming, 2);
+    index.store(db);
+    snapshot_modes("engine", index, [] {
+      return std::make_unique<serve::EngineIndex>();
+    });
+  }
+  {
+    arch::BankedOptions opt;
+    opt.bank_rows = rows / 4 ? rows / 4 : 1;
+    serve::BankedIndex index(opt);
+    index.configure(csp::DistanceMetric::kHamming, 2);
+    index.store(db);
+    snapshot_modes("banked", index, [&] {
+      return std::make_unique<serve::BankedIndex>(opt);
+    });
+  }
+
+  const auto wal_mode = [&](const char* label, util::SyncPolicy policy) {
+    const std::string path = dir + "/wal.ferex";
+    auto record = base_record(label, rows, dims);
+    {
+      serve::Wal wal(path, policy);
+      benchjson::fill_timing(
+          record,
+          benchjson::time_calls(
+              n_ops, [&](std::size_t i) { wal.append_insert(fresh[i]); }),
+          1);
+      wal.close();
+    }
+    util::remove_file(path);
+    records.push_back(record);
+    std::printf("%-18s %9.0f appends/s   p50 %7.1f us\n", label, record.qps,
+                record.latency_p50_us);
+    return record;
+  };
+  const auto synced = wal_mode("wal_append_fsync", util::SyncPolicy::kEveryAppend);
+  const auto unsynced = wal_mode("wal_append_nosync", util::SyncPolicy::kNever);
+  std::printf("fsync tax p50 %+.1f us per append\n\n",
+              synced.latency_p50_us - unsynced.latency_p50_us);
+
+  const auto recovery_mode = [&](const char* label, std::size_t log_records) {
+    util::remove_file(dir + "/wal.ferex");
+    util::remove_file(dir + "/snapshot.ferex");
+    {
+      serve::Wal wal(dir + "/wal.ferex", util::SyncPolicy::kNever);
+      wal.append_configure(csp::DistanceMetric::kHamming, 2,
+                           /*composite=*/false);
+      wal.append_store(db);
+      for (std::size_t i = 0; i < log_records; ++i) {
+        wal.append_insert(fresh[i % fresh.size()]);
+      }
+      wal.close();
+    }
+    auto record = base_record(label, rows, dims);
+    benchjson::fill_timing(record,
+                           benchjson::time_calls(kRecoverIters,
+                                                 [&](std::size_t) {
+                                                   serve::EngineIndex target;
+                                                   (void)serve::recover_index(
+                                                       target, dir);
+                                                 }),
+                           1);
+    records.push_back(record);
+    std::printf("%-26s %6zu records   %8.2f ms/recovery\n", label,
+                log_records + 2, record.latency_p50_us / 1000.0);
+  };
+  recovery_mode("engine_recover_short_log", n_ops);
+  recovery_mode("engine_recover_long_log", n_ops * 4);
+
+  std::error_code cleanup_error;
+  fs::remove_all(dir, cleanup_error);
+
+  if (!json_path.empty() &&
+      !benchjson::write_json(json_path, "bench_serve_durability", records)) {
+    return 1;
+  }
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json <path>] [rows] [dims] [queries]  "
-               "(positive integers up to 2^20)\n",
+               "usage: %s [--durability] [--json <path>] [rows] [dims] "
+               "[queries]  (positive integers up to 2^20)\n",
                argv0);
   return 2;
 }
@@ -212,11 +370,16 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::size_t rows = 128, dims = 64, n_queries = 256;
   std::string json_path;
+  bool durability = false;
   std::size_t* const params[] = {&rows, &dims, &n_queries};
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+      continue;
+    }
+    if (std::string(argv[i]) == "--durability") {
+      durability = true;
       continue;
     }
     char* end = nullptr;
@@ -228,6 +391,8 @@ int main(int argc, char** argv) {
     }
     *params[positional++] = static_cast<std::size_t>(v);
   }
+
+  if (durability) return run_durability(rows, dims, n_queries, json_path);
 
   const auto db = data::random_int_vectors(rows, dims, 4, 1);
   const auto queries = data::random_int_vectors(n_queries, dims, 4, 2);

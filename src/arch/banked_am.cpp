@@ -140,6 +140,61 @@ BankedWrite BankedAm::update(std::size_t global_row,
   return receipt;
 }
 
+BankedAm::BankedState BankedAm::snapshot_state() const {
+  BankedState state;
+  state.query_serial = query_serial_;
+  state.bank_offsets = bank_offsets_;
+  state.banks.reserve(banks_.size());
+  for (const auto& bank : banks_) state.banks.push_back(bank->snapshot_state());
+  return state;
+}
+
+void BankedAm::restore_state(BankedState state) {
+  if (!configured_) {
+    throw std::logic_error("BankedAm::restore_state: configure() first");
+  }
+  if (state.bank_offsets.size() != state.banks.size()) {
+    throw std::invalid_argument(
+        "BankedAm::restore_state: offsets do not match banks");
+  }
+  banks_.clear();
+  bank_offsets_ = std::move(state.bank_offsets);
+  total_rows_ = 0;
+  for (std::size_t b = 0; b < state.banks.size(); ++b) {
+    auto bank = make_bank(bank_offsets_[b], state.banks.size());
+    total_rows_ += state.banks[b].database.size();
+    bank->restore_state(std::move(state.banks[b]));
+    banks_.push_back(std::move(bank));
+  }
+  query_serial_ = state.query_serial;
+  reconcile_intra_query();
+}
+
+std::size_t BankedAm::compact() {
+  if (banks_.empty()) return 0;
+  const std::size_t live = live_count();
+  if (live == total_rows_) return 0;
+  const std::size_t freed = total_rows_ - live;
+  std::vector<std::vector<int>> survivors;
+  survivors.reserve(live);
+  for (const auto& bank : banks_) {
+    auto state = bank->snapshot_state();
+    for (std::size_t r = 0; r < state.database.size(); ++r) {
+      if (state.live[r] != 0) survivors.push_back(std::move(state.database[r]));
+    }
+  }
+  if (survivors.empty()) {
+    // Every row was a tombstone: back to the configured-but-unstored
+    // state (exactly a fresh BankedAm after configure()).
+    banks_.clear();
+    bank_offsets_.clear();
+    total_rows_ = 0;
+    return freed;
+  }
+  store(survivors);
+  return freed;
+}
+
 std::size_t BankedAm::live_count() const noexcept {
   std::size_t live = 0;
   for (const auto& bank : banks_) live += bank->live_count();

@@ -97,6 +97,11 @@ class BankedAm {
 
   std::size_t bank_count() const noexcept { return banks_.size(); }
 
+  bool configured() const noexcept { return configured_; }
+  csp::DistanceMetric metric() const noexcept { return metric_; }
+  int bits() const noexcept { return bits_; }
+  const BankedOptions& options() const noexcept { return options_; }
+
   /// The engine backing one bank (throws std::out_of_range) — cost
   /// models, per-bank liveness, and scheduling introspection.
   const core::FerexEngine& bank(std::size_t b) const {
@@ -192,6 +197,32 @@ class BankedAm {
 
   /// Energy of one banked search: all banks fire.
   double search_energy_j() const;
+
+  /// Complete mutable state for a durable snapshot: the banked ordinal
+  /// counter plus every bank engine's state and its global offset. The
+  /// byte format lives in serve/snapshot.
+  struct BankedState {
+    std::uint64_t query_serial = 0;
+    std::vector<std::size_t> bank_offsets;
+    std::vector<core::FerexEngine::EngineState> banks;
+  };
+
+  /// Exports the current state (empty banks list before any store()).
+  BankedState snapshot_state() const;
+
+  /// Installs a previously exported state. Requires configure() with
+  /// the same metric/bits/options the snapshot was taken under. Banks
+  /// are reconstructed with the same per-bank seed formula store() uses,
+  /// then each engine restores its exact state — searches, and every
+  /// subsequent insert's variation draw, are bit-identical to the
+  /// uninterrupted instance.
+  void restore_state(BankedState state);
+
+  /// Tombstone compaction: re-packs the live rows densely via store(),
+  /// which rebuilds every bank as a fresh engine — bit-identical to
+  /// configure()+store() of the survivors on a fresh BankedAm. The
+  /// banked ordinal counter is kept. Returns the slots reclaimed.
+  std::size_t compact();
 
  private:
   std::size_t global_index(std::size_t bank, std::size_t local) const;

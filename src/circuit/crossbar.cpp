@@ -58,18 +58,7 @@ CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
       encoding_(encoding),
       ladder_(ladder),
       config_(config) {
-  if (rows == 0 || dims == 0) {
-    throw std::invalid_argument("CrossbarArray: empty geometry");
-  }
-  if (ladder.levels() < encoding.ladder_levels()) {
-    throw std::invalid_argument(
-        "CrossbarArray: ladder has fewer levels than the encoding needs");
-  }
-  if (ladder.vth(ladder.levels() - 1) > config_.fet.vth_max_v) {
-    throw std::invalid_argument(
-        "CrossbarArray: ladder's highest Vth exceeds the device's "
-        "programmable window — use a smaller step");
-  }
+  validate_geometry();
   const std::size_t devices = rows * dims * fefets_per_cell_;
   const device::VariationModel variation(config_.variation);
   vth_offsets_.resize(devices);
@@ -79,11 +68,54 @@ CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
     resistances_[d] =
         config_.cell.resistance_ohm * variation.sample_r_multiplier(rng);
   }
+  init_derived_state();
+}
+
+CrossbarArray::CrossbarArray(std::size_t rows, std::size_t dims,
+                             const encode::CellEncoding& encoding,
+                             const device::VoltageLadder& ladder,
+                             CrossbarConfig config,
+                             std::vector<double> vth_offsets,
+                             std::vector<double> resistances)
+    : rows_(rows),
+      dims_(dims),
+      fefets_per_cell_(encoding.fefets_per_cell()),
+      encoding_(encoding),
+      ladder_(ladder),
+      config_(config),
+      vth_offsets_(std::move(vth_offsets)),
+      resistances_(std::move(resistances)) {
+  validate_geometry();
+  const std::size_t devices = rows * dims * fefets_per_cell_;
+  if (vth_offsets_.size() != devices || resistances_.size() != devices) {
+    throw std::invalid_argument(
+        "CrossbarArray: fabrication arrays do not match the geometry");
+  }
+  init_derived_state();
+}
+
+void CrossbarArray::validate_geometry() const {
+  if (rows_ == 0 || dims_ == 0) {
+    throw std::invalid_argument("CrossbarArray: empty geometry");
+  }
+  if (ladder_.levels() < encoding_.ladder_levels()) {
+    throw std::invalid_argument(
+        "CrossbarArray: ladder has fewer levels than the encoding needs");
+  }
+  if (ladder_.vth(ladder_.levels() - 1) > config_.fet.vth_max_v) {
+    throw std::invalid_argument(
+        "CrossbarArray: ladder's highest Vth exceeds the device's "
+        "programmable window — use a smaller step");
+  }
+}
+
+void CrossbarArray::init_derived_state() {
+  const std::size_t devices = rows_ * dims_ * fefets_per_cell_;
   // Erased state: highest threshold (nothing conducts until programmed).
   vth_.assign(devices, config_.fet.vth_max_v);
-  stored_values_.assign(rows * dims, 0);
-  live_.assign(rows, 1);
-  live_rows_ = rows;
+  stored_values_.assign(rows_ * dims_, 0);
+  live_.assign(rows_, 1);
+  live_rows_ = rows_;
 
   subvt_alpha_ = std::log(10.0) / (config_.fet.ss_mv_per_dec * 1e-3);
   inv_r_.resize(devices);

@@ -81,6 +81,18 @@ class CrossbarArray {
                 const device::VoltageLadder& ladder, CrossbarConfig config,
                 util::Rng& rng);
 
+  /// Snapshot-restore constructor: installs previously fabricated
+  /// per-device arrays (row-major, `rows*dims*fefets` each) instead of
+  /// drawing variation from an RNG, then rebuilds every derived table
+  /// exactly as the drawing constructor does. Rows start live and
+  /// erased; the caller re-programs (or erases) each slot from its
+  /// snapshot. Throws std::invalid_argument on a size mismatch.
+  CrossbarArray(std::size_t rows, std::size_t dims,
+                const encode::CellEncoding& encoding,
+                const device::VoltageLadder& ladder, CrossbarConfig config,
+                std::vector<double> vth_offsets,
+                std::vector<double> resistances);
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t dims() const noexcept { return dims_; }
   std::size_t fefets_per_cell() const noexcept { return fefets_per_cell_; }
@@ -188,7 +200,20 @@ class CrossbarArray {
   double device_resistance(std::size_t row, std::size_t dim,
                            std::size_t fefet) const;
 
+  /// Flat per-device fabrication arrays (row-major), as consumed by the
+  /// restore constructor — what an index snapshot persists.
+  std::span<const double> device_vth_offsets() const noexcept {
+    return vth_offsets_;
+  }
+  std::span<const double> device_resistances() const noexcept {
+    return resistances_;
+  }
+
  private:
+  /// Shared tail of both constructors: erased-state arrays and every
+  /// derived table, computed from the already-set fabrication arrays.
+  void init_derived_state();
+  void validate_geometry() const;
   void validate_nominal_query(std::span<const int> query) const;
   std::size_t device_index(std::size_t row, std::size_t dim,
                            std::size_t fefet) const noexcept {

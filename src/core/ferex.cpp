@@ -68,7 +68,7 @@ void FerexEngine::store(std::vector<std::vector<int>> database) {
   if (encoding_) rebuild_array();
 }
 
-void FerexEngine::rebuild_array() {
+device::VoltageLadder FerexEngine::make_ladder() const {
   // Shrink the ladder pitch when the encoding needs many levels, so the
   // highest threshold stays inside the device's programmable window (the
   // narrower margin is the physical cost of more levels per cell).
@@ -77,13 +77,18 @@ void FerexEngine::rebuild_array() {
   const double max_step =
       vth_headroom / static_cast<double>(encoding_->ladder_levels());
   const double step = std::min(options_.ladder_step_v, max_step);
-  const device::VoltageLadder ladder(encoding_->ladder_levels(),
-                                     options_.ladder_base_v, step);
-  const std::size_t physical_dims =
-      database_.front().size() * (codec_ ? codec_->subcells() : 1);
+  return device::VoltageLadder(encoding_->ladder_levels(),
+                               options_.ladder_base_v, step);
+}
+
+std::size_t FerexEngine::physical_dims() const {
+  return database_.front().size() * (codec_ ? codec_->subcells() : 1);
+}
+
+void FerexEngine::rebuild_array() {
   array_ = std::make_unique<circuit::CrossbarArray>(
-      database_.size(), physical_dims, *encoding_, ladder, options_.circuit,
-      rng_);
+      database_.size(), physical_dims(), *encoding_, make_ladder(),
+      options_.circuit, rng_);
   for (std::size_t r = 0; r < database_.size(); ++r) {
     if (live_[r] == 0) {
       // Removed slot: the fresh array already holds it erased; re-apply
@@ -97,6 +102,87 @@ void FerexEngine::rebuild_array() {
       array_->program_row(r, database_[r]);
     }
   }
+}
+
+FerexEngine::EngineState FerexEngine::snapshot_state() const {
+  EngineState state;
+  state.database = database_;
+  state.live = live_;
+  state.query_serial = query_serial_;
+  state.rng = rng_.state();
+  if (array_) {
+    const auto vth = array_->device_vth_offsets();
+    const auto res = array_->device_resistances();
+    state.vth_offsets.assign(vth.begin(), vth.end());
+    state.resistances.assign(res.begin(), res.end());
+  }
+  return state;
+}
+
+void FerexEngine::restore_state(EngineState state) {
+  if (!encoding_) {
+    throw std::logic_error("FerexEngine::restore_state: configure() first");
+  }
+  if (state.live.size() != state.database.size()) {
+    throw std::invalid_argument(
+        "FerexEngine::restore_state: live mask does not match database");
+  }
+  database_ = std::move(state.database);
+  live_ = std::move(state.live);
+  live_rows_ = 0;
+  for (const auto flag : live_) live_rows_ += flag != 0 ? 1 : 0;
+  query_serial_ = state.query_serial;
+  rng_.set_state(state.rng);
+  if (database_.empty()) {
+    array_.reset();
+    return;
+  }
+  // Rebuild the array from the recorded fabrication, then re-program
+  // each slot from the database (program_row is deterministic given the
+  // per-device Vth offsets) — the restored array is device-for-device
+  // identical to the one the snapshot was taken from.
+  array_ = std::make_unique<circuit::CrossbarArray>(
+      database_.size(), physical_dims(), *encoding_, make_ladder(),
+      options_.circuit, std::move(state.vth_offsets),
+      std::move(state.resistances));
+  for (std::size_t r = 0; r < database_.size(); ++r) {
+    if (live_[r] == 0) {
+      array_->erase_row(r);
+      continue;
+    }
+    if (codec_) {
+      array_->program_row(r, codec_->expand(database_[r]));
+    } else {
+      array_->program_row(r, database_[r]);
+    }
+  }
+}
+
+std::size_t FerexEngine::compact() {
+  if (!array_ || live_rows_ == database_.size()) return 0;
+  const std::size_t freed = database_.size() - live_rows_;
+  std::vector<std::vector<int>> survivors;
+  survivors.reserve(live_rows_);
+  for (std::size_t r = 0; r < database_.size(); ++r) {
+    if (live_[r] != 0) survivors.push_back(std::move(database_[r]));
+  }
+  // Bit-identity contract: equal to configure()+store(survivors) on a
+  // fresh engine — which draws its variation from a generator seeded at
+  // construction, so re-seed before rebuilding. query_serial_ is
+  // deliberately kept (the serving layer's ordinal stream continues).
+  rng_ = util::Rng(options_.seed);
+  if (survivors.empty()) {
+    database_.clear();
+    live_.clear();
+    live_rows_ = 0;
+    array_.reset();
+    return freed;
+  }
+  database_ = std::move(survivors);
+  live_.assign(database_.size(), 1);
+  live_rows_ = database_.size();
+  rebuild_array();
+  return freed;
 }
 
 EngineInsert FerexEngine::insert(std::span<const int> vector) {

@@ -280,8 +280,46 @@ class FerexEngine {
   FerexOptions& options() noexcept { return options_; }
   const FerexOptions& options() const noexcept { return options_; }
 
+  /// Complete mutable engine state for a durable snapshot. The byte
+  /// format lives in serve/snapshot; the engine only exports and
+  /// installs its state. The fabrication arrays (per-device Vth offsets
+  /// and resistances) plus the RNG position make restoration exact:
+  /// restored searches and every subsequent insert's variation draw are
+  /// bit-identical to the uninterrupted engine.
+  struct EngineState {
+    std::vector<std::vector<int>> database;
+    std::vector<std::uint8_t> live;
+    std::uint64_t query_serial = 0;
+    util::Rng::State rng{};
+    std::vector<double> vth_offsets;  ///< empty when nothing is stored
+    std::vector<double> resistances;
+  };
+
+  /// Exports the current state (requires nothing; an unstored engine
+  /// exports empty arrays).
+  EngineState snapshot_state() const;
+
+  /// Installs a previously exported state. Requires configure() with
+  /// the same metric/bits/options the snapshot was taken under (the
+  /// snapshot layer enforces this with typed errors; a raw size mismatch
+  /// here throws std::invalid_argument). Rebuilds the array from the
+  /// recorded fabrication arrays — no variation is redrawn.
+  void restore_state(EngineState state);
+
+  /// Tombstone compaction: drops removed slots and rebuilds as a fresh
+  /// store() of the survivors on a fresh engine — the variation RNG is
+  /// re-seeded from options().seed, so the result (currents, hits, and
+  /// every subsequent insert) is bit-identical to configure()+store() of
+  /// the surviving rows. Compacting an all-live index is a no-op; an
+  /// all-removed index returns to the unstored state. Returns the number
+  /// of slots reclaimed.
+  std::size_t compact();
+
  private:
   void rebuild_array();
+  /// Ladder + physical width shared by rebuild_array and restore_state.
+  device::VoltageLadder make_ladder() const;
+  std::size_t physical_dims() const;
   /// Independent comparator-noise generator for one query ordinal.
   util::Rng query_rng(std::uint64_t ordinal) const noexcept;
   /// Throws std::invalid_argument unless query has the stored logical

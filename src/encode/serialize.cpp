@@ -1,5 +1,7 @@
 #include "encode/serialize.hpp"
 
+#include <array>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -104,6 +106,118 @@ CellEncoding from_text(const std::string& text) {
   // CellEncoding's constructor re-validates ranges.
   return CellEncoding(std::move(store_levels), std::move(search_levels),
                       std::move(vds), levels, name);
+}
+
+// ---------------------------------------------------------- binary --
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data,
+                    std::uint32_t seed) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t size) {
+  out_.insert(out_.end(), data, data + size);
+}
+
+const std::uint8_t* ByteReader::head(std::size_t need, const char* what) {
+  if (need > size_ - offset_) {
+    throw CorruptSnapshot(offset_, std::string("truncated reading ") + what);
+  }
+  const std::uint8_t* at = data_ + offset_;
+  offset_ += need;
+  return at;
+}
+
+std::uint8_t ByteReader::u8() { return head(1, "u8")[0]; }
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* at = head(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* at = head(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::bytes(std::size_t size) {
+  const std::uint8_t* at = head(size, "bytes");
+  return std::vector<std::uint8_t>(at, at + size);
+}
+
+void ByteReader::require(std::size_t size, const char* what) const {
+  if (size != size_ - offset_) {
+    throw CorruptSnapshot(offset_, std::string(what) + ": expected " +
+                                       std::to_string(size) +
+                                       " bytes, have " +
+                                       std::to_string(size_ - offset_));
+  }
+}
+
+void ByteReader::expect_end() const {
+  if (offset_ != size_) {
+    throw CorruptSnapshot(offset_, "trailing bytes after payload");
+  }
 }
 
 }  // namespace ferex::encode

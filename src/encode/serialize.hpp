@@ -11,9 +11,18 @@
 //   store_levels  — <stored> lines of <fefets> ints
 //   search_levels — <search> lines of <fefets> ints
 //   vds_multiples — <search> lines of <fefets> ints
+//
+// The module also provides the binary layer under the durable index
+// snapshots (PR 7): a little-endian ByteWriter/ByteReader pair where
+// every read is bounds-checked and any malformed byte surfaces as a
+// typed CorruptSnapshot naming the offset — truncated, oversized, or
+// bit-flipped input is never UB and never a silent misparse.
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "encode/encoding_table.hpp"
 
@@ -25,5 +34,81 @@ std::string to_text(const CellEncoding& encoding);
 /// Parses the text format; throws std::invalid_argument with a
 /// line-numbered message on any malformed input.
 CellEncoding from_text(const std::string& text);
+
+// ---------------------------------------------------------- binary --
+
+/// Malformed binary snapshot/WAL bytes. `offset()` is the byte position
+/// (within the buffer handed to the reader) where decoding failed.
+class CorruptSnapshot : public std::runtime_error {
+ public:
+  CorruptSnapshot(std::uint64_t offset, const std::string& what)
+      : std::runtime_error("corrupt snapshot at byte " +
+                           std::to_string(offset) + ": " + what),
+        offset_(offset) {}
+
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::uint64_t offset_;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one). `seed` chains calls.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+std::uint32_t crc32(const std::vector<std::uint8_t>& data,
+                    std::uint32_t seed = 0);
+
+/// Appends little-endian fixed-width values to a byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void bytes(const std::uint8_t* data, std::size_t size);
+
+  std::size_t size() const noexcept { return out_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return out_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reader over a byte buffer it does not
+/// own. Every accessor throws CorruptSnapshot (with the current offset)
+/// rather than reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  /// Copies `size` bytes out of the buffer.
+  std::vector<std::uint8_t> bytes(std::size_t size);
+
+  std::uint64_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return size_ - offset_; }
+
+  /// Throws unless exactly `size` bytes remain (pre-validating a
+  /// fixed-size payload before element-wise reads).
+  void require(std::size_t size, const char* what) const;
+
+  /// Throws unless the buffer is fully consumed (oversized input is as
+  /// corrupt as truncated input).
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* head(std::size_t need, const char* what);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
 
 }  // namespace ferex::encode

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "serve/wal.hpp"
+
 namespace ferex::serve {
 
 namespace {
@@ -116,15 +118,37 @@ std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
 }
 
 std::future<WriteReceipt> AsyncAmIndex::admit_write(Pending pending) {
-  pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
-  pending.searches_before = searches_admitted_;
-  pending.write_promise.emplace();
-  std::future<WriteReceipt> future = pending.write_promise->get_future();
-  if (!queue_.try_push(std::move(pending))) {
+  // Admission is decided before the WAL append: every pusher holds
+  // submit_mutex_ and pops only make room, so a queue with a free slot
+  // here cannot refuse the push below. The journal therefore never
+  // records a rejected op, and a crash mid-append leaves a torn —
+  // truncated, never-applied — record, not a phantom.
+  if (queue_.size() >= queue_.capacity()) {
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     throw Overloaded("AsyncAmIndex: request queue at depth " +
                      std::to_string(options_.queue_depth));
   }
+  // Journaled at epoch-assignment time, under submit_mutex_: the log
+  // order is the write-epoch order is the apply order, so replay
+  // reproduces the exact serialized sequence the dispatchers applied.
+  if (options_.wal != nullptr) {
+    switch (pending.kind) {
+      case Pending::Kind::kRemove:
+        options_.wal->append_remove(pending.row);
+        break;
+      case Pending::Kind::kUpdate:
+        options_.wal->append_update(pending.row, pending.vector);
+        break;
+      default:
+        options_.wal->append_insert(pending.vector);
+        break;
+    }
+  }
+  pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
+  pending.searches_before = searches_admitted_;
+  pending.write_promise.emplace();
+  std::future<WriteReceipt> future = pending.write_promise->get_future();
+  queue_.try_push(std::move(pending));
   writes_admitted_.fetch_add(1, std::memory_order_relaxed);
   writes_submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;

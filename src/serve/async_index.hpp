@@ -80,6 +80,8 @@
 
 namespace ferex::serve {
 
+class Wal;
+
 /// Admission rejection: the request queue is at queue_depth. Fail-fast
 /// by design — submit never blocks the caller.
 class Overloaded : public std::runtime_error {
@@ -106,6 +108,14 @@ struct AsyncOptions {
   /// dispatch order; more trade ordering of *completion* for overlap
   /// (results stay bit-identical either way — ordinals are pinned).
   std::size_t dispatchers = 1;
+  /// Optional write-ahead log (see DurableIndex::wal()). Each accepted
+  /// write is journaled at epoch-assignment time, under the submit
+  /// mutex, after admission is decided — so log order equals write-epoch
+  /// order equals apply order, and the log never records a rejected op.
+  /// Must outlive the AsyncAmIndex; appends must not race synchronous
+  /// use of the same Wal (the MutationWhileServed guard already keeps
+  /// the DurableIndex front door closed during the session).
+  Wal* wal = nullptr;
 };
 
 /// Counters + latency percentiles for a serving session (all since

@@ -1,0 +1,66 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/mutex.hpp"
+
+namespace ferex::util {
+
+namespace {
+
+// Fast-path gate: production code pays one relaxed load per site when
+// nothing is armed. The slow path (an armed run inside a test) takes the
+// mutex so dispatcher threads hitting sites race cleanly with each other.
+std::atomic<bool> g_armed{false};
+
+Mutex g_mutex;
+std::string g_site GUARDED_BY(g_mutex);
+std::uint64_t g_countdown GUARDED_BY(g_mutex) = 0;
+std::uint64_t g_hits GUARDED_BY(g_mutex) = 0;
+std::function<void()> g_action GUARDED_BY(g_mutex);
+
+}  // namespace
+
+void failpoint_arm(const char* site, std::uint64_t countdown,
+                   std::function<void()> action) {
+  MutexLock lock(g_mutex);
+  g_site = site;
+  g_countdown = countdown;
+  g_hits = 0;
+  g_action = std::move(action);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void failpoint_disarm() {
+  MutexLock lock(g_mutex);
+  g_armed.store(false, std::memory_order_release);
+  g_site.clear();
+  g_countdown = 0;
+  g_hits = 0;
+  g_action = nullptr;
+}
+
+std::uint64_t failpoint_hits() {
+  MutexLock lock(g_mutex);
+  return g_hits;
+}
+
+void failpoint_hit(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  std::function<void()> action;
+  {
+    MutexLock lock(g_mutex);
+    if (!g_armed.load(std::memory_order_relaxed)) return;
+    if (g_site != site) return;
+    ++g_hits;
+    if (g_countdown == 0 || g_hits != g_countdown) return;
+    action = g_action;
+  }
+  // Run outside the lock: the action may _exit, throw, or re-arm.
+  if (action) action();
+}
+
+}  // namespace ferex::util

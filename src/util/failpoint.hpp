@@ -1,0 +1,34 @@
+// Crash-point fault injection for durability tests.
+//
+// Production code calls failpoint_hit("site.name") at each crash-relevant
+// boundary (WAL record commit, snapshot rename, ...). In normal operation
+// the call is a single relaxed atomic load. A test arms one site with a
+// countdown and an action (typically `[] { _exit(0); }` in a forked
+// child); the Nth hit of that site runs the action, simulating a process
+// death at exactly that instant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ferex::util {
+
+/// Arms `site`: the `countdown`-th call to failpoint_hit(site) (1-based)
+/// invokes `action`. Countdown 0 counts hits without ever firing (the
+/// dry-run mode crash sweeps use to enumerate a workload's boundaries).
+/// Replaces any previously armed site.
+void failpoint_arm(const char* site, std::uint64_t countdown,
+                   std::function<void()> action);
+
+/// Disarms everything (safe to call when nothing is armed).
+void failpoint_disarm();
+
+/// Number of times the currently armed site has been hit so far. Used by
+/// tests to enumerate crash points: a counting dry run first, then one
+/// armed run per boundary.
+std::uint64_t failpoint_hits();
+
+/// Injection site marker; near-zero cost unless a site is armed.
+void failpoint_hit(const char* site);
+
+}  // namespace ferex::util

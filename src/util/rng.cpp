@@ -89,4 +89,21 @@ Rng Rng::split() noexcept {
   return Rng{(*this)() ^ 0xa5a5a5a5deadbeefULL};
 }
 
+Rng::State Rng::state() const noexcept {
+  State state{};
+  for (int lane = 0; lane < 4; ++lane) state.s[lane] = state_[lane];
+  state.cached_gaussian = cached_gaussian_;
+  state.has_cached_gaussian = has_cached_gaussian_;
+  return state;
+}
+
+void Rng::set_state(const State& state) noexcept {
+  for (int lane = 0; lane < 4; ++lane) state_[lane] = state.s[lane];
+  // Same forbidden-state guard as the constructor: never let a (corrupt)
+  // snapshot park the generator in the all-zero fixed point.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+}
+
 }  // namespace ferex::util

@@ -55,6 +55,18 @@ class Rng {
   /// Splits off an independent child generator (for parallel streams).
   Rng split() noexcept;
 
+  /// Complete generator state, capturable mid-stream. Restoring a State
+  /// resumes the exact output sequence — including the Box-Muller cache,
+  /// so an interrupted gaussian() pair continues where it left off.
+  struct State {
+    std::uint64_t s[4];
+    double cached_gaussian;
+    bool has_cached_gaussian;
+  };
+
+  State state() const noexcept;
+  void set_state(const State& state) noexcept;
+
  private:
   std::uint64_t state_[4];
   double cached_gaussian_ = 0.0;

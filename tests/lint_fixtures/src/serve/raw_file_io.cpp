@@ -1,0 +1,11 @@
+// Violation fixture: direct file write in serving code (raw-file-io).
+#include <fstream>
+
+namespace ferex_fixture {
+
+void write_unmanaged(const char* path) {
+  std::ofstream out(path);
+  out << "bytes that will not survive a crash";
+}
+
+}  // namespace ferex_fixture

@@ -75,6 +75,12 @@ TEST(FerexLint, FlagsOrdinalBeforeValidate) {
   EXPECT_NE(out.find("ordinal-before-validate"), std::string::npos) << out;
 }
 
+TEST(FerexLint, FlagsRawFileIo) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/raw_file_io.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("raw-file-io"), std::string::npos) << out;
+}
+
 TEST(FerexLint, FlagsUnguardedPragma) {
   std::string out;
   EXPECT_EQ(lint(fixture("unguarded_pragma.cpp"), out), 1) << out;

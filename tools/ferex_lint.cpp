@@ -27,6 +27,11 @@
 //                  (`__GNUC__ < N`) within the 10 preceding lines, so
 //                  suppressions expire instead of outliving the bug
 //                  they worked around.
+//   raw-file-io    Serving/encode code (src/serve/, src/encode/) must
+//                  not open files directly (fopen / std::ofstream /
+//                  std::fstream) — bytes that must survive a crash go
+//                  through util::durable_file (atomic_write_file,
+//                  AppendFile) and inherit its fsync discipline.
 //
 // Waiver: append `// ferex-lint: allow(<rule-id>)` on the offending
 // line, with a justifying comment nearby. Waivers are part of the
@@ -425,6 +430,28 @@ void check_ordinal_before_validate(const FileCheck& f) {
   }
 }
 
+// ----------------------------------------------------------- raw-file-io --
+void check_raw_file_io(const FileCheck& f) {
+  if (!f.in("src/serve/") && !f.in("src/encode/")) return;
+  // ifstream (read-only) stays legal: the rule protects the write path,
+  // where a missed fsync turns a crash into silent data loss.
+  static constexpr std::string_view kTokens[] = {"fopen", "ofstream",
+                                                 "fstream"};
+  for (const auto token : kTokens) {
+    for (std::size_t pos = f.code.find(token); pos != std::string::npos;
+         pos = f.code.find(token, pos + 1)) {
+      if (pos > 0 && is_ident(f.code[pos - 1])) continue;  // ifstream, ...
+      const std::size_t after = pos + token.size();
+      if (after < f.code.size() && is_ident(f.code[after])) continue;
+      f.report(pos, "raw-file-io",
+               std::string(token) +
+                   " under src/serve|src/encode — durable bytes go "
+                   "through util::durable_file (atomic_write_file / "
+                   "AppendFile)");
+    }
+  }
+}
+
 // --------------------------------------------------------- pragma-expiry --
 void check_pragma_expiry(const FileCheck& f) {
   const std::string needle = "#pragma";
@@ -477,6 +504,7 @@ bool scan_file(const fs::path& file, std::vector<Violation>& out) {
   check_raw_random(f);
   check_guarded_mutator(f);
   check_ordinal_before_validate(f);
+  check_raw_file_io(f);
   check_pragma_expiry(f);
   return true;
 }
