@@ -32,11 +32,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include "util/durable_file.hpp"
 
 namespace ferex::benchjson {
 
@@ -99,23 +103,24 @@ inline void fill_timing(Record& record, std::span<const double> call_seconds,
   record.latency_p99_us = percentile_sorted(per_query_us, 99.0);
 }
 
-/// Writes the document; returns false (with a message on stderr) on I/O
-/// failure so benches can exit non-zero.
+/// Writes the document atomically (util::atomic_write_file: the path
+/// holds either the previous complete document or the new one — a
+/// crashed or killed bench can never leave a torn JSON for
+/// bench_compare to reject). Returns false (with a message on stderr)
+/// on I/O failure so benches can exit non-zero.
 inline bool write_json(const std::string& path, const std::string& bench,
                        std::span<const Record> records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  std::fprintf(f,
-               "{\n  \"bench\": \"%s\",\n  \"schema_version\": 2,\n"
-               "  \"hardware_concurrency\": %u,\n  \"results\": [",
-               bench.c_str(), std::thread::hardware_concurrency());
+  std::string out;
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer,
+                "{\n  \"bench\": \"%s\",\n  \"schema_version\": 2,\n"
+                "  \"hardware_concurrency\": %u,\n  \"results\": [",
+                bench.c_str(), std::thread::hardware_concurrency());
+  out += buffer;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
-    std::fprintf(
-        f,
+    std::snprintf(
+        buffer, sizeof buffer,
         "%s\n    {\"label\": \"%s\", \"geometry\": {\"rows\": %zu, "
         "\"dims\": %zu}, \"queries\": %zu, \"fidelity\": \"%s\", "
         "\"qps\": %.3f, \"latency_p50_us\": %.3f, \"latency_p95_us\": %.3f, "
@@ -123,11 +128,18 @@ inline bool write_json(const std::string& path, const std::string& bench,
         i == 0 ? "" : ",", r.label.c_str(), r.rows, r.dims, r.queries,
         r.fidelity.c_str(), r.qps, r.latency_p50_us, r.latency_p95_us,
         r.latency_p99_us);
+    out += buffer;
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  const bool ok = std::fclose(f) == 0;
-  if (!ok) std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
-  return ok;
+  out += "\n  ]\n}\n";
+  try {
+    util::atomic_write_file(
+        path, reinterpret_cast<const std::uint8_t*>(out.data()), out.size());
+  } catch (const std::system_error& error) {
+    std::fprintf(stderr, "error: write to %s failed: %s\n", path.c_str(),
+                 error.what());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ferex::benchjson

@@ -27,6 +27,31 @@
 //                      end-to-end reservoir over both kinds. The gap to
 //                      *_serve_async is the price of write barriers.
 //
+// Sharded fleet modes (4 engine shards, scatter-gather) ride the same
+// run:
+//
+//   sharded_serve_sync       fleet search() in a sequential loop —
+//                            scatter to every live shard, k-way merge.
+//   sharded_serve_roundtrip  AsyncShardedIndex submit() + get() one
+//                            request at a time — per-shard queues, the
+//                            gather on the calling thread.
+//   sharded_serve_large      the million-row trajectory point: a fixed
+//                            65536-row x 16-dim 4-shard fleet served
+//                            sync, emitted at its own geometry so the
+//                            regression gate tracks it regardless of
+//                            the positional row count.
+//
+// The write-interference experiment demonstrates shard-local write
+// isolation: each sample submits a burst of updates and then times one
+// roundtrip search behind it. On a single index the search serializes
+// behind the whole burst (its queue wait IS the burst); on the fleet
+// the burst lands on shard 0's queue while the search goes to shard 1,
+// whose queue — and queue-wait reservoir — never holds a write. The
+// four-way comparison (single/fleet x idle/under-writes) is printed,
+// not emitted into the JSON: its per-run numbers are scheduler-noise
+// scale (a few us idle), which would make the 25% regression gate cry
+// wolf, while the printed wall + queue-wait p95 contrast is the point.
+//
 // With --durability the binary instead measures the persistence layer
 // (snapshot save/load throughput, WAL append cost with and without
 // fsync, recovery time vs log length) — see run_durability below; the
@@ -46,9 +71,11 @@
 
 #include "data/datasets.hpp"
 #include "serve/async_index.hpp"
+#include "serve/async_sharded.hpp"
 #include "serve/banked_index.hpp"
 #include "serve/durable.hpp"
 #include "serve/engine_index.hpp"
+#include "serve/sharded_index.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/wal.hpp"
 #include "util/durable_file.hpp"
@@ -208,6 +235,206 @@ ServeNumbers measure(const std::string& prefix, std::size_t rows,
                                      numbers.mixed_qps));
   }
   return numbers;
+}
+
+/// The sharded serve modes: scatter-gather sync + async roundtrip over
+/// a 4-shard engine fleet, then the write-interference quartet (see the
+/// file comment) against the single-index baseline.
+void measure_sharded(std::size_t rows, std::size_t dims,
+                     const std::vector<std::vector<int>>& db,
+                     const std::vector<std::vector<int>>& queries,
+                     std::vector<benchjson::Record>& records) {
+  serve::ShardedOptions opt;
+  opt.shards = 4;
+  // At least two routing blocks per shard so the fleet actually spreads
+  // at small row counts.
+  opt.shard_block = rows / 8 ? rows / 8 : 1;
+  opt.backend = serve::ShardBackend::kEngine;
+  const auto make_fleet = [&] {
+    auto fleet = std::make_unique<serve::ShardedIndex>(opt);
+    fleet->configure(csp::DistanceMetric::kHamming, 2);
+    fleet->store(db);
+    return fleet;
+  };
+  std::vector<serve::SearchRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  serve::SearchRequest warm;
+  warm.query = queries.front();
+
+  auto sync_record = base_record("sharded_serve_sync", rows, dims);
+  {
+    auto fleet = make_fleet();
+    (void)fleet->search(warm);
+    benchjson::fill_timing(
+        sync_record,
+        benchjson::time_calls(
+            requests.size(),
+            [&](std::size_t i) { (void)fleet->search(requests[i]); }),
+        1);
+    records.push_back(sync_record);
+  }
+
+  auto roundtrip = base_record("sharded_serve_roundtrip", rows, dims);
+  {
+    auto fleet = make_fleet();
+    serve::AsyncOptions options;
+    options.max_wait_us = 0;
+    serve::AsyncShardedIndex async_fleet(*fleet, options);
+    benchjson::fill_timing(
+        roundtrip,
+        benchjson::time_calls(requests.size(),
+                              [&](std::size_t i) {
+                                (void)async_fleet.submit(requests[i]).get();
+                              }),
+        1);
+    records.push_back(roundtrip);
+    async_fleet.shutdown();
+  }
+
+  // Write interference, measured per operation: each timed sample is
+  // one roundtrip search submitted right after a burst of updates
+  // enters the queue. On the single index the search serializes behind
+  // the whole burst (write barrier), so every sample pays it; on the
+  // fleet the burst sits on shard 0's queue while the search goes to
+  // shards 1..3, which never see it. The *_no_writes twins are the
+  // identical loops minus the updates.
+  constexpr std::size_t kBurst = 16;
+  const auto fresh = data::random_int_vectors(kBurst, dims, 4, 7);
+  serve::AsyncOptions queue_options;
+  // One burst plus the search in flight per sample, with headroom.
+  queue_options.queue_depth = kBurst + 8;
+  queue_options.max_batch = 32;
+  queue_options.max_wait_us = 0;
+
+  struct Interference {
+    std::vector<double> seconds;  ///< per-search wall roundtrip
+    core::LatencyReservoir::Summary queue_wait;
+  };
+
+  const auto single_pair = [&](bool with_writes) {
+    serve::EngineIndex index;
+    index.configure(csp::DistanceMetric::kHamming, 2);
+    index.store(db);
+    (void)index.search(warm);
+    serve::AsyncAmIndex async_index(index, queue_options);
+    std::vector<std::future<serve::WriteReceipt>> writes;
+    writes.reserve(kBurst);
+    Interference out;
+    out.seconds.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (with_writes) {
+        for (std::size_t w = 0; w < kBurst; ++w) {
+          writes.push_back(
+              async_index.submit_update((i + w) % rows, fresh[w]));
+        }
+      }
+      const auto start = Clock::now();
+      (void)async_index.submit(requests[i]).get();
+      out.seconds.push_back(seconds_since(start));
+      // Drain outside the timed region so exactly one burst is in
+      // flight per sample (no backlog snowball across samples).
+      for (auto& write : writes) (void)write.get();
+      writes.clear();
+    }
+    // One session, one reservoir: every op — write or search — waits
+    // behind the writes queued ahead of it, and the search is always
+    // last in its burst, so the p95 is the serialization stall.
+    out.queue_wait = async_index.stats().queue_wait_us;
+    return out;
+  };
+
+  const auto fleet_pair = [&](bool with_writes) {
+    auto fleet = make_fleet();
+    // Rows the router sends to shard 0 — the updates' sole target.
+    std::vector<std::size_t> shard0_rows;
+    for (std::size_t g = 0; g < rows; ++g) {
+      if (fleet->shard_of(g) == 0) shard0_rows.push_back(g);
+    }
+    serve::AsyncShardedIndex async_fleet(*fleet, queue_options);
+    std::vector<serve::AsyncShardedIndex::PendingWrite> writes;
+    writes.reserve(kBurst);
+    Interference out;
+    out.seconds.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (with_writes) {
+        for (std::size_t w = 0; w < kBurst; ++w) {
+          writes.push_back(async_fleet.submit_update(
+              shard0_rows[(i + w) % shard0_rows.size()], fresh[w]));
+        }
+      }
+      // Every search goes to shard 1 only: its queue — and its
+      // queue-wait reservoir — never holds a write.
+      const auto start = Clock::now();
+      (void)async_fleet.submit_shard(1, requests[i]).get();
+      out.seconds.push_back(seconds_since(start));
+      for (auto& write : writes) (void)write.get();
+      writes.clear();
+    }
+    out.queue_wait = async_fleet.shard_session(1).stats().queue_wait_us;
+    async_fleet.shutdown();
+    return out;
+  };
+
+  const auto wall_p95_us = [](const Interference& run) {
+    std::vector<double> us;
+    us.reserve(run.seconds.size());
+    for (const double s : run.seconds) us.push_back(s * 1e6);
+    std::sort(us.begin(), us.end());
+    return benchjson::percentile_sorted(us, 95.0);
+  };
+  const auto single_idle = single_pair(false);
+  const auto single_busy = single_pair(true);
+  const auto fleet_idle = fleet_pair(false);
+  const auto fleet_busy = fleet_pair(true);
+
+  std::printf("ShardedIndex  sync %8.0f q/s   roundtrip p50 %7.1f us\n",
+              sync_record.qps, roundtrip.latency_p50_us);
+  std::printf(
+      "write interference (%zu updates/search)  wall p95: single %7.1f -> "
+      "%8.1f us   other shard %7.1f -> %8.1f us\n",
+      kBurst, wall_p95_us(single_idle), wall_p95_us(single_busy),
+      wall_p95_us(fleet_idle), wall_p95_us(fleet_busy));
+  std::printf(
+      "                              queue-wait p95: single %7.1f -> "
+      "%8.1f us   other shard %7.1f -> %8.1f us\n",
+      single_idle.queue_wait.p95_us, single_busy.queue_wait.p95_us,
+      fleet_idle.queue_wait.p95_us, fleet_busy.queue_wait.p95_us);
+}
+
+/// The fixed large-geometry trajectory point: 65536 rows x 16 dims over
+/// 4 shards, served sync. Emitted at its own geometry on every run so
+/// the bench_compare gate tracks it no matter what the positional
+/// arguments say.
+void measure_sharded_large(std::vector<benchjson::Record>& records) {
+  constexpr std::size_t kRows = 65536;
+  constexpr std::size_t kDims = 16;
+  constexpr std::size_t kQueries = 16;
+  serve::ShardedOptions opt;
+  opt.shards = 4;
+  opt.shard_block = 4096;
+  opt.backend = serve::ShardBackend::kEngine;
+  const auto db = data::random_int_vectors(kRows, kDims, 4, 11);
+  const auto queries = data::random_int_vectors(kQueries, kDims, 4, 12);
+  serve::ShardedIndex fleet(opt);
+  fleet.configure(csp::DistanceMetric::kHamming, 2);
+  fleet.store(db);
+  serve::SearchRequest request;
+  request.query = queries.front();
+  (void)fleet.search(request);
+  auto record = base_record("sharded_serve_large", kRows, kDims);
+  benchjson::fill_timing(record,
+                         benchjson::time_calls(kQueries,
+                                               [&](std::size_t i) {
+                                                 request.query = queries[i];
+                                                 (void)fleet.search(request);
+                                               }),
+                         1);
+  records.push_back(record);
+  std::printf("sharded_serve_large  %zu rows x 4 shards   %6.0f q/s   "
+              "p95 %8.1f us\n",
+              kRows, record.qps, record.latency_p95_us);
 }
 
 // Persistence-layer measurements, emitted as schema-v2 records so the
@@ -444,6 +671,9 @@ int main(int argc, char** argv) {
            measure("banked", rows, dims, sync_index, async_backend, queries,
                    records));
   }
+
+  measure_sharded(rows, dims, db, queries, records);
+  measure_sharded_large(records);
 
   if (!json_path.empty() &&
       !benchjson::write_json(json_path, "bench_serve", records)) {

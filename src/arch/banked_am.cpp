@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "serve/merge_topk.hpp"
 #include "util/parallel.hpp"
 
 namespace ferex::arch {
@@ -282,25 +283,25 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   } else {
     for (std::size_t b = 0; b < banks_.size(); ++b) run_bank(b);
   }
-  // Stage 2: a small global comparator over the bank winners.
-  std::vector<double> winner_currents(banks_.size());
+  // Stage 2: the deterministic two-best merge over the bank winners
+  // (shared with serve::ShardedIndex, which applies the same rule across
+  // shards). A noiseless comparator over the already-sensed winners is
+  // bit-identical to the global LTA stage with no rng attached.
+  std::vector<serve::GroupWinner> winners(banks_.size());
   for (std::size_t b = 0; b < banks_.size(); ++b) {
-    winner_currents[b] = bank_live[b] != 0
-                             ? bank_results[b].winner_current_a
-                             : std::numeric_limits<double>::infinity();
+    winners[b].live = bank_live[b] != 0;
+    winners[b].sensed = winners[b].live
+                            ? bank_results[b].winner_current_a
+                            : std::numeric_limits<double>::infinity();
+    winners[b].margin_a = bank_results[b].margin_a;
   }
-  const auto decision =
-      global_lta_.decide(winner_currents, banks_.front()->sense_unit(),
-                         nullptr, bank_live);
-  const auto& winner = bank_results[decision.winner];
+  const auto decision = serve::merge_topk(winners);
+  const auto& winner = bank_results[decision.group];
   BankedSearchResult out;
-  out.bank = decision.winner;
-  out.nearest = global_index(decision.winner, winner.nearest);
-  out.winner_current_a = decision.winner_current_a;
-  // Global margin: the gap between the two best bank winners. A single
-  // competing bank has no second winner to compare against — pass its
-  // own margin through (the global stage over one input is an identity).
-  out.margin_a = live_banks > 1 ? decision.margin_a : winner.margin_a;
+  out.bank = decision.group;
+  out.nearest = global_index(decision.group, winner.nearest);
+  out.winner_current_a = decision.sensed;
+  out.margin_a = decision.margin_a;
   out.nominal_distance = winner.nominal_distance;
   return out;
 }

@@ -54,6 +54,7 @@
 namespace ferex::serve {
 
 class AsyncAmIndex;
+class AsyncShardedIndex;
 
 /// Phantom capability: the right to mutate an AmIndex (or drive its
 /// ordinal stream) without racing an asynchronous owner. Nothing is
@@ -277,6 +278,10 @@ class AmIndex {
   /// serve duplicate ordinals and race the first one's dispatchers, so
   /// the claim throws instead.
   friend class AsyncAmIndex;
+  /// AsyncShardedIndex claims the fleet-level ShardedIndex the same way
+  /// (while per-shard AsyncAmIndex wrappers claim each shard), so
+  /// direct synchronous use of a served fleet throws at the front door.
+  friend class AsyncShardedIndex;
   void claim_async_owner() {
     if (async_owned_.exchange(true, std::memory_order_acq_rel)) {
       throw std::logic_error(

@@ -1,0 +1,211 @@
+// AsyncShardedIndex — shard-local write queues over a ShardedIndex.
+//
+// One AsyncAmIndex serializes every write against every search through
+// a single queue's write epochs: a burst of updates anywhere stalls
+// p95 search latency everywhere. AsyncShardedIndex gives each shard its
+// own AsyncAmIndex session, so a write to shard A never stalls searches
+// that only touch shard B — while a scatter-gather search still orders
+// against writes on every shard it reads, because its per-shard
+// sub-requests ride those shards' queues and write epochs. Batch
+// coalescing stays per-shard for the same reason.
+//
+// Ordinals: the fleet keeps ONE search ordinal stream (seeded from the
+// ShardedIndex's query serial at construction, handed back at
+// shutdown). Every accepted search takes its ordinal at submission
+// under the fleet submit mutex and pins it onto each per-shard
+// sub-request, so responses are bit-identical to the synchronous
+// ShardedIndex serving the same requests in submission order — shard
+// queues, coalescing, and dispatcher interleaving never change a
+// result. Writes consume no search ordinals.
+//
+// Routing shadow: the fleet validates and routes writes against its own
+// shadow of the routing state (per-shard stored/live counts, the freed
+// global-row set) under the submit mutex. The shadow is exact, not a
+// heuristic: the fleet owns both front doors (the ShardedIndex and
+// every shard are async-claimed, so no other mutator exists), every
+// accepted write is fully validated at submission (slot range,
+// liveness, vector length, alphabet — a difference from AsyncAmIndex,
+// which defers state-dependent checks: here the shadow IS the state the
+// op will see, because each shard's queue applies its sub-ops in
+// submission order), and therefore every accepted write succeeds and
+// advances the shadow exactly as it advances the shard. Rejected
+// submissions (Overloaded / ShutDown / validation) consume nothing.
+//
+// Completion handles: submit() returns a Ticket whose get() gathers the
+// per-shard futures on the calling thread and k-way merges them through
+// the exact same ShardedIndex merge core the synchronous path uses
+// (hits remapped to global rows, bank = shard, cross-shard margin
+// reconstruction). submit_shard() returns a single-shard Ticket — the
+// surface the write-interference bench drives. Write submissions return
+// a PendingWrite whose receipt carries the global row and shard decided
+// at submission time.
+//
+// Durability: pass one Wal per shard (DurableShardedIndex::shard_wal)
+// and each shard session journals its sub-ops — in shard-local
+// coordinates, at epoch-assignment time — into its own shard log,
+// exactly as AsyncAmIndex + DurableIndex compose for one index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "serve/async_index.hpp"
+#include "serve/sharded_index.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ferex::serve {
+
+class AsyncShardedIndex {
+ public:
+  /// A scatter-gather search in flight: one future per live shard (or
+  /// exactly one for submit_shard). get() blocks for every part on the
+  /// calling thread, then merges — call it once. If any part failed,
+  /// the first error rethrows after all parts settle.
+  class Ticket {
+   public:
+    SearchResponse get();
+
+    Ticket(Ticket&&) = default;
+    Ticket& operator=(Ticket&&) = default;
+
+   private:
+    friend class AsyncShardedIndex;
+    static constexpr std::size_t kAllShards = static_cast<std::size_t>(-1);
+    Ticket(const AsyncShardedIndex* owner, std::size_t k, std::size_t shards,
+           std::size_t single_shard)
+        : owner_(owner), k_(k), shards_(shards), single_shard_(single_shard) {}
+
+    const AsyncShardedIndex* owner_;
+    std::size_t k_;
+    std::size_t shards_;
+    /// kAllShards for scatter-gather; a shard index for submit_shard.
+    std::size_t single_shard_;
+    std::vector<std::pair<std::size_t, std::future<SearchResponse>>> parts_;
+  };
+
+  /// A routed write in flight. get() surfaces the shard session's
+  /// receipt with the fleet coordinates decided at submission.
+  class PendingWrite {
+   public:
+    WriteReceipt get() {
+      WriteReceipt receipt = future_.get();
+      receipt.global_row = global_row_;
+      receipt.bank = shard_;
+      return receipt;
+    }
+    std::size_t global_row() const noexcept { return global_row_; }
+    std::size_t shard() const noexcept { return shard_; }
+
+   private:
+    friend class AsyncShardedIndex;
+    PendingWrite(std::size_t global_row, std::size_t shard,
+                 std::future<WriteReceipt> future)
+        : global_row_(global_row), shard_(shard), future_(std::move(future)) {}
+
+    std::size_t global_row_;
+    std::size_t shard_;
+    std::future<WriteReceipt> future_;
+  };
+
+  /// Claims the fleet and every shard, snapshots the routing shadow
+  /// from the quiescent ShardedIndex, and opens one AsyncAmIndex per
+  /// shard with `base` options (each shard gets its own queue,
+  /// dispatchers, and coalescing). `shard_wals`, when non-empty, must
+  /// hold one Wal per shard (nullptr entries allowed); each shard
+  /// session journals into its own log. The ShardedIndex (and the Wals)
+  /// must outlive this object.
+  explicit AsyncShardedIndex(ShardedIndex& sharded, AsyncOptions base = {},
+                             std::span<Wal* const> shard_wals = {});
+
+  ~AsyncShardedIndex();
+
+  AsyncShardedIndex(const AsyncShardedIndex&) = delete;
+  AsyncShardedIndex& operator=(const AsyncShardedIndex&) = delete;
+
+  /// Scatter-gather search: validates against the shadow (typed
+  /// EmptyIndex when no shard has live rows; k bounded by the fleet's
+  /// live count; query length against the fleet dims — per-shard
+  /// backend checks run in the shard sessions), takes one fleet
+  /// ordinal, and submits one pinned sub-request per live shard.
+  /// Overloaded from any shard queue rejects the whole search with the
+  /// serial unmoved (already-queued sibling sub-searches are const
+  /// pinned-ordinal reads whose results are dropped — harmless).
+  Ticket submit(SearchRequest request);
+
+  /// Serves against a single shard only: consumes one fleet ordinal
+  /// (the same stream scatter-gather uses), validates against that
+  /// shard's shadow, and never touches any other shard's queue — a
+  /// write stalling shard A leaves this path on shard B unaffected.
+  Ticket submit_shard(std::size_t shard, const SearchRequest& request);
+
+  /// Routed streaming insert: reuses the lowest freed global row before
+  /// appending at the fleet's stored count, exactly as the synchronous
+  /// ShardedIndex. Fully validated at submission (see the file
+  /// comment); the receipt's destination is decided here.
+  PendingWrite submit_insert(std::vector<int> vector);
+
+  /// Routed deletion (out_of_range on a bad global row, logic_error on
+  /// a double remove — at submission, where the shadow is exact).
+  PendingWrite submit_remove(std::size_t global_row);
+
+  /// Routed in-place overwrite; revives a freed slot.
+  PendingWrite submit_update(std::size_t global_row, std::vector<int> vector);
+
+  /// Shuts every shard session down (draining their queues — all
+  /// futures complete), then hands the fleet serial back to the
+  /// ShardedIndex and returns it to synchronous use. Idempotent.
+  void shutdown();
+
+  bool shut_down() const;
+
+  /// Ordinal the next unpinned search submission will take.
+  std::uint64_t query_serial() const;
+
+  /// The per-shard session, for stats and tuning introspection.
+  const AsyncAmIndex& shard_session(std::size_t shard) const {
+    return *sessions_.at(shard);
+  }
+
+  std::size_t shard_count() const noexcept { return sessions_.size(); }
+
+ private:
+  /// The gather half, shared with Ticket: dead/unqueried shards hold
+  /// empty parts. Routes through ShardedIndex's own merge core so async
+  /// results are structurally bit-identical to the sync path.
+  static SearchResponse merge_parts(const ShardedIndex& sharded,
+                                    std::span<const SearchResponse> parts,
+                                    std::size_t k, std::size_t single_shard);
+
+  std::size_t shadow_live_total() const REQUIRES(submit_mutex_);
+  void check_open() const REQUIRES(submit_mutex_);
+  void validate_vector(std::span<const int> vector) const
+      REQUIRES(submit_mutex_);
+
+  ShardedIndex& sharded_;
+  std::vector<std::unique_ptr<AsyncAmIndex>> sessions_;
+
+  /// Guards the fleet ordinal stream and the routing shadow; makes
+  /// admission + ordinal assignment + shadow advance atomic.
+  mutable util::Mutex submit_mutex_;
+  std::uint64_t serial_ GUARDED_BY(submit_mutex_) = 0;
+  bool shutdown_ GUARDED_BY(submit_mutex_) = false;
+  /// Routing shadow (see the file comment): exact per-shard state as of
+  /// every accepted write.
+  std::vector<std::size_t> shadow_live_ GUARDED_BY(submit_mutex_);
+  std::size_t shadow_total_ GUARDED_BY(submit_mutex_) = 0;
+  std::set<std::size_t> shadow_free_ GUARDED_BY(submit_mutex_);
+  std::size_t shadow_dims_ GUARDED_BY(submit_mutex_) = 0;
+  /// Logical alphabet of the fleet's configured encoding (0 when the
+  /// fleet is unconfigured — inserts are then rejected outright).
+  std::size_t alphabet_ GUARDED_BY(submit_mutex_) = 0;
+  bool configured_ GUARDED_BY(submit_mutex_) = false;
+};
+
+}  // namespace ferex::serve

@@ -1,0 +1,82 @@
+#pragma once
+
+/// Shared two-best-winner merge for group-of-arrays serving layers.
+///
+/// Both `arch::BankedAm` (merging per-bank winners) and
+/// `serve::ShardedIndex` (merging per-shard winners) resolve a global
+/// winner from a set of group-local winners and must reconstruct the
+/// winner's margin across groups. The rule is identical in both layers
+/// and subtle enough to drift if re-derived:
+///
+///   - the winner is the live group with the strictly smallest sensed
+///     value (ties go to the lowest group index, matching the
+///     deterministic `LtaCircuit::decide` sweep);
+///   - with more than one live group, `margin_a` is the gap between the
+///     two best group winners (what a deterministic global comparator
+///     over the group winners would report);
+///   - with exactly one live group there is no second winner to compare
+///     against, so the group's own internal margin passes through (a
+///     comparator over one input is an identity).
+///
+/// The helper is pure and deterministic: it draws no noise, so feeding
+/// it the already-sensed group winners preserves bit-identity with a
+/// flat index whose comparator saw all rows at once.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+namespace ferex::serve {
+
+/// One group's local winner, as input to `merge_topk`.
+struct GroupWinner {
+  /// Merge key: sensed current (circuit) or nominal distance, already
+  /// resolved by the group's own search.
+  double sensed = std::numeric_limits<double>::infinity();
+  /// The group's internal margin (gap to its own runner-up). Used only
+  /// when this group is the sole live competitor.
+  double margin_a = 0.0;
+  /// Dead groups (all rows removed) are skipped entirely.
+  bool live = false;
+};
+
+/// The merged global winner with its cross-group margin.
+struct MergedWinner {
+  std::size_t group = 0;
+  double sensed = 0.0;
+  double margin_a = 0.0;
+};
+
+/// Resolves the global winner over per-group winners. Throws
+/// `std::logic_error` when no group is live — callers gate on liveness
+/// before merging (an all-dead fleet is typed `EmptyIndex` upstream).
+inline MergedWinner merge_topk(std::span<const GroupWinner> groups) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t winner = groups.size();
+  double best = kInf;
+  double second = kInf;
+  std::size_t live = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!groups[g].live) continue;
+    ++live;
+    const double sensed = groups[g].sensed;
+    if (sensed < best) {
+      second = best;
+      best = sensed;
+      winner = g;
+    } else if (sensed < second) {
+      second = sensed;
+    }
+  }
+  if (live == 0) {
+    throw std::logic_error("merge_topk: no live group");
+  }
+  MergedWinner out;
+  out.group = winner;
+  out.sensed = best;
+  out.margin_a = live > 1 ? second - best : groups[winner].margin_a;
+  return out;
+}
+
+}  // namespace ferex::serve

@@ -1,0 +1,211 @@
+// Sharded scatter-gather serving: one AmIndex over N independent shards.
+//
+// One AmIndex owns one engine or one banked array, so capacity is
+// bounded by a single search fan-out and (async) a single write queue.
+// ShardedIndex scales out: it owns N full AmIndex shards (EngineIndex
+// or BankedIndex each) behind the same serving API, so callers —
+// including DurableIndex-per-shard composition and the per-shard async
+// front door (AsyncShardedIndex) — need no new protocol.
+//
+// Row routing is arithmetic, not a lookup table. Global rows split into
+// `shard_block`-sized blocks dealt round-robin across shards:
+//
+//   blk      = global / shard_block
+//   shard    = blk % shards
+//   local    = (blk / shards) * shard_block + global % shard_block
+//
+// so every shard's local array fills densely front to back as the fleet
+// grows (the globally-last block is the only partial one, and it is the
+// highest block of its shard). insert() appends at global row
+// stored_count() — which the formula sends to exactly the target
+// shard's next local slot — or reuses the lowest freed global row,
+// which per-shard monotonicity maps onto that shard's own lowest freed
+// local slot. Receipts and hits always carry global rows; `Hit::bank`
+// at this layer is the shard index.
+//
+// Search is scatter-gather: the query fans to every live shard via
+// util::parallel_for_affine (shard s always lands on pool lane s % P,
+// keeping its cached bias/current tables warm in one thread), each
+// shard serves at the fleet's ordinal against its own comparator-noise
+// stream (shard seeds are salted per shard; shard 0 keeps the base
+// seed, so a 1-shard fleet is bit-identical to the unsharded index),
+// and the per-shard top-k responses k-way merge on sensed current
+// (circuit) / nominal distance (nominal). Cross-shard `margin_a` is the
+// winner's gap to the best losing candidate across all shards — for
+// k == 1 exactly BankedAm's two-best rule via the shared
+// serve::merge_topk; for k > 1 each merged hit's margin is the gap to
+// the best remaining head after it is taken — with the per-shard
+// overfetch that head is the true global runner-up, so at nominal
+// fidelity these gaps equal the flat index's round margins bit for bit
+// — and +inf when the whole fleet is exhausted (the flat comparator
+// masks round winners to +inf current but keeps them competing, so its
+// own final round reports +inf too). When exactly one shard is
+// live — a 1-shard fleet, or every other shard fully deleted — its
+// response passes through wholesale (rows remapped, margins untouched),
+// so the fleet is bit-identical to that shard served alone at every k
+// and both fidelities. Dead shards are skipped
+// entirely (no search, no noise draws); EmptyIndex fires only when
+// every shard is empty (live_count() sums shards, so the base-class
+// validation covers it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/ferex.hpp"
+#include "serve/am_index.hpp"
+
+namespace ferex::serve {
+
+class AsyncShardedIndex;
+
+/// Which backend each shard runs. Every shard is homogeneous — a fleet
+/// mixes capacity by shard count, not by backend.
+enum class ShardBackend {
+  kEngine,  ///< one macro per shard (EngineIndex)
+  kBanked,  ///< multi-macro banked array per shard (BankedIndex)
+};
+
+struct ShardedOptions {
+  std::size_t shards = 4;       ///< fleet width (>= 1)
+  std::size_t shard_block = 128;  ///< rows per routing block (>= 1)
+  ShardBackend backend = ShardBackend::kEngine;
+  /// Per-shard engine options. The seed is salted per shard (see
+  /// shard_seed); shard 0 keeps the base seed so a 1-shard fleet is
+  /// bit-identical to the unsharded index it wraps.
+  core::FerexOptions engine{};
+  /// Rows per bank inside each shard (kBanked backend only).
+  std::size_t bank_rows = 128;
+};
+
+/// AmIndex over N independent shards: arithmetic row routing,
+/// scatter-gather search with cross-shard margin reconstruction, and
+/// the same guarded write path as every other backend.
+class ShardedIndex final : public AmIndex {
+ public:
+  explicit ShardedIndex(ShardedOptions options = {});
+
+  /// The engine seed shard `shard` runs with. Exposed so tests (and
+  /// recovery tooling) can construct the exact per-shard reference
+  /// index a shard must be bit-identical to.
+  static std::uint64_t shard_seed(const ShardedOptions& options,
+                                  std::size_t shard) noexcept {
+    return options.engine.seed +
+           0x9e3779b9ull * static_cast<std::uint64_t>(shard);
+  }
+
+  // -- routing (pure arithmetic; public for tests and durability) --
+  std::size_t shard_of(std::size_t global_row) const noexcept {
+    return (global_row / options_.shard_block) % options_.shards;
+  }
+  std::size_t to_local(std::size_t global_row) const noexcept {
+    const std::size_t block = global_row / options_.shard_block;
+    return (block / options_.shards) * options_.shard_block +
+           global_row % options_.shard_block;
+  }
+  std::size_t to_global(std::size_t shard,
+                        std::size_t local_row) const noexcept {
+    const std::size_t block = local_row / options_.shard_block;
+    return (block * options_.shards + shard) * options_.shard_block +
+           local_row % options_.shard_block;
+  }
+  /// Rows the routing formula sends to `shard` out of a fleet of
+  /// `total` rows — the shard-local stored count a dense fleet has.
+  std::size_t rows_for_shard(std::size_t shard,
+                             std::size_t total) const noexcept;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  AmIndex& shard(std::size_t s) { return *shards_.at(s); }
+  const AmIndex& shard(std::size_t s) const { return *shards_.at(s); }
+
+  /// Where the next insert() goes: {shard, global row}. Reuses the
+  /// lowest freed global row before appending at stored_count(). For
+  /// durability layers that must journal an op's destination before
+  /// applying it.
+  std::pair<std::size_t, std::size_t> next_insert_target() const;
+
+  /// Freed (removed, not yet reused) global rows, lowest first.
+  const std::set<std::size_t>& free_rows() const noexcept {
+    return free_rows_;
+  }
+
+  /// Serves one request against a single shard only (rows remapped to
+  /// global, bank = shard). Consumes one fleet ordinal unless the
+  /// request pins one — single-shard traffic and scatter-gather traffic
+  /// share one ordinal stream. The sync twin of
+  /// AsyncShardedIndex::submit_shard.
+  SearchResponse search_shard(std::size_t shard,
+                              const SearchRequest& request);
+
+  /// Re-derives routing state (free rows, configure cache) from the
+  /// shards' own contents, after a durability layer has recovered each
+  /// shard in place. Guarded like a mutation. Throws SnapshotMismatch
+  /// (from the durable layer's checks) callers detect separately; here
+  /// the only requirement is that every shard is a dense routing image.
+  void rebuild_routing();
+
+  std::size_t stored_count() const noexcept override;
+  std::size_t live_count() const noexcept override;
+  std::size_t dims() const noexcept override;
+  /// The fan width at this layer: the number of shards. (Per-shard
+  /// banks are an implementation detail of the shard backend.)
+  std::size_t bank_count() const noexcept override {
+    return shards_.size();
+  }
+
+  const ShardedOptions& options() const noexcept { return options_; }
+
+  bool configured() const noexcept { return configured_; }
+  csp::DistanceMetric metric() const noexcept { return metric_; }
+  int bits() const noexcept { return bits_; }
+
+ protected:
+  void do_configure(csp::DistanceMetric metric, int bits) override;
+  void do_store(const std::vector<std::vector<int>>& database) override;
+  WriteReceipt do_insert(std::span<const int> vector) override;
+  WriteReceipt do_remove(std::size_t global_row) override;
+  WriteReceipt do_update(std::size_t global_row,
+                         std::span<const int> vector) override;
+  SearchResponse search_core(std::span<const int> query, std::size_t k,
+                             std::uint64_t ordinal,
+                             bool in_query_pool) const override;
+  void validate_backend_query(std::span<const int> query) const override;
+  bool inner_fan_for_batch(std::size_t batch_size) const override;
+
+ private:
+  /// AsyncShardedIndex claims the fleet (so direct sync use throws
+  /// MutationWhileServed) and shares the merge core so async gathers
+  /// are structurally identical to the sync path.
+  friend class AsyncShardedIndex;
+
+  std::unique_ptr<AmIndex> make_shard(std::size_t shard) const;
+
+  /// The scatter half: one sub-response per shard (dead shards left
+  /// empty), each fetched at `ordinal` with per-shard k
+  /// (min(k + 1, shard live) so a losing candidate for the margin
+  /// always survives the merge unless the fleet is exhausted).
+  std::vector<SearchResponse> scatter(std::span<const int> query,
+                                      std::size_t k, std::uint64_t ordinal,
+                                      bool in_query_pool) const;
+
+  /// The gather half, shared verbatim by the sync path and the async
+  /// ticket: k-way merge of per-shard responses with global rows,
+  /// bank = shard, and cross-shard margin reconstruction.
+  SearchResponse merge_shard_responses(
+      std::span<const SearchResponse> parts, std::size_t k) const;
+
+  double merge_key(const Hit& hit) const noexcept;
+
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<AmIndex>> shards_;
+  std::set<std::size_t> free_rows_;
+  csp::DistanceMetric metric_ = csp::DistanceMetric::kHamming;
+  int bits_ = 0;
+  bool configured_ = false;
+};
+
+}  // namespace ferex::serve

@@ -111,6 +111,14 @@ void atomic_write_file(const std::string& path,
   atomic_write_file(path, data.data(), data.size());
 }
 
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    if (errno == EEXIST) return;
+    fail(path, "mkdir");
+  }
+  fsync_dir(parent_dir(path));
+}
+
 void truncate_file(const std::string& path, std::uint64_t size) {
   if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
     fail(path, "truncate");

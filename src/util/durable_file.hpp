@@ -41,6 +41,12 @@ void atomic_write_file(const std::string& path, const std::uint8_t* data,
 void atomic_write_file(const std::string& path,
                        const std::vector<std::uint8_t>& data);
 
+/// Creates `path` as a directory (parent must exist) and fsyncs the
+/// parent so the new entry survives a crash. No-op when the directory
+/// already exists. Used by the sharded durability layer to lay out its
+/// per-shard subdirectories.
+void ensure_directory(const std::string& path);
+
 /// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
 void truncate_file(const std::string& path, std::uint64_t size);
 

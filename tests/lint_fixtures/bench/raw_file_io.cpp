@@ -1,0 +1,15 @@
+// Violation fixture: direct file write in bench code (raw-file-io).
+// A bench killed mid-write would leave a torn BENCH_*.json; emitters
+// must go through util::atomic_write_file.
+#include <cstdio>
+
+namespace ferex_fixture {
+
+bool emit_results(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"results\": []}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace ferex_fixture

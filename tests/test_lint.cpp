@@ -81,6 +81,12 @@ TEST(FerexLint, FlagsRawFileIo) {
   EXPECT_NE(out.find("raw-file-io"), std::string::npos) << out;
 }
 
+TEST(FerexLint, FlagsRawFileIoInBench) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("bench/raw_file_io.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("raw-file-io"), std::string::npos) << out;
+}
+
 TEST(FerexLint, FlagsUnguardedPragma) {
   std::string out;
   EXPECT_EQ(lint(fixture("unguarded_pragma.cpp"), out), 1) << out;

@@ -27,9 +27,10 @@
 //                  (`__GNUC__ < N`) within the 10 preceding lines, so
 //                  suppressions expire instead of outliving the bug
 //                  they worked around.
-//   raw-file-io    Serving/encode code (src/serve/, src/encode/) must
-//                  not open files directly (fopen / std::ofstream /
-//                  std::fstream) — bytes that must survive a crash go
+//   raw-file-io    Serving/encode/bench code (src/serve/, src/encode/,
+//                  bench/) must not open files directly (fopen /
+//                  std::ofstream / std::fstream) — bytes that must
+//                  survive a crash (snapshots, WALs, BENCH_*.json) go
 //                  through util::durable_file (atomic_write_file,
 //                  AppendFile) and inherit its fsync discipline.
 //
@@ -432,7 +433,10 @@ void check_ordinal_before_validate(const FileCheck& f) {
 
 // ----------------------------------------------------------- raw-file-io --
 void check_raw_file_io(const FileCheck& f) {
-  if (!f.in("src/serve/") && !f.in("src/encode/")) return;
+  // bench/ is covered too: a bench killed mid-write must never leave a
+  // torn BENCH_*.json for bench_compare to reject — emitters go through
+  // util::atomic_write_file like every other durable writer.
+  if (!f.in("src/serve/") && !f.in("src/encode/") && !f.in("bench/")) return;
   // ifstream (read-only) stays legal: the rule protects the write path,
   // where a missed fsync turns a crash into silent data loss.
   static constexpr std::string_view kTokens[] = {"fopen", "ofstream",
@@ -445,7 +449,7 @@ void check_raw_file_io(const FileCheck& f) {
       if (after < f.code.size() && is_ident(f.code[after])) continue;
       f.report(pos, "raw-file-io",
                std::string(token) +
-                   " under src/serve|src/encode — durable bytes go "
+                   " under src/serve|src/encode|bench — durable bytes go "
                    "through util::durable_file (atomic_write_file / "
                    "AppendFile)");
     }
