@@ -17,7 +17,12 @@
 //         "qps": <double>,
 //         "latency_p50_us": <double>,
 //         "latency_p95_us": <double>,
-//         "latency_p99_us": <double>
+//         "latency_p99_us": <double>,
+//         "offered_qps": <double>,     // optional (open-loop modes only)
+//         "achieved_qps": <double>,    // optional
+//         "shed_rate": <double>,       // optional, in [0, 1]
+//         "write_p50_us": <double>,    // optional (mixed-class modes)
+//         "write_p95_us": <double>     // optional
 //       }, ...
 //     ]
 //   }
@@ -25,8 +30,14 @@
 // Latency percentiles are per measured call; batched modes divide each
 // batch call's wall time by its query count first (amortized per-query
 // latency), which is noted in the mode's label. Schema v2 added
-// latency_p99_us (serve-path tails); consumers key on label/geometry
-// and tolerate the extra field either way.
+// latency_p99_us (serve-path tails). Schema v3 adds the optional
+// open-loop fields above: offered_qps is the generator's target arrival
+// rate, achieved_qps counts completed (non-shed) requests over wall
+// time, shed_rate is shed / offered, and write_p50/p95_us carry the
+// write class's end-to-end latency when a mode mixes classes. A record
+// omits the optional keys when the mode has nothing to report (closed
+// loop, search-only); consumers key on label/geometry and must tolerate
+// their absence.
 #pragma once
 
 #include <algorithm>
@@ -54,6 +65,13 @@ struct Record {
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
+  // Schema-v3 optional fields. Negative means "not applicable": the key
+  // is left out of the JSON entirely rather than emitted as a sentinel.
+  double offered_qps = -1.0;
+  double achieved_qps = -1.0;
+  double shed_rate = -1.0;
+  double write_p50_us = -1.0;
+  double write_p95_us = -1.0;
 };
 
 /// Linear-interpolated percentile over already-sorted samples, p in
@@ -113,10 +131,16 @@ inline bool write_json(const std::string& path, const std::string& bench,
   std::string out;
   char buffer[512];
   std::snprintf(buffer, sizeof buffer,
-                "{\n  \"bench\": \"%s\",\n  \"schema_version\": 2,\n"
+                "{\n  \"bench\": \"%s\",\n  \"schema_version\": 3,\n"
                 "  \"hardware_concurrency\": %u,\n  \"results\": [",
                 bench.c_str(), std::thread::hardware_concurrency());
   out += buffer;
+  const auto append_optional = [&](std::string& doc, const char* key,
+                                   double value) {
+    if (value < 0.0) return;
+    std::snprintf(buffer, sizeof buffer, ", \"%s\": %.3f", key, value);
+    doc += buffer;
+  };
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::snprintf(
@@ -124,11 +148,17 @@ inline bool write_json(const std::string& path, const std::string& bench,
         "%s\n    {\"label\": \"%s\", \"geometry\": {\"rows\": %zu, "
         "\"dims\": %zu}, \"queries\": %zu, \"fidelity\": \"%s\", "
         "\"qps\": %.3f, \"latency_p50_us\": %.3f, \"latency_p95_us\": %.3f, "
-        "\"latency_p99_us\": %.3f}",
+        "\"latency_p99_us\": %.3f",
         i == 0 ? "" : ",", r.label.c_str(), r.rows, r.dims, r.queries,
         r.fidelity.c_str(), r.qps, r.latency_p50_us, r.latency_p95_us,
         r.latency_p99_us);
     out += buffer;
+    append_optional(out, "offered_qps", r.offered_qps);
+    append_optional(out, "achieved_qps", r.achieved_qps);
+    append_optional(out, "shed_rate", r.shed_rate);
+    append_optional(out, "write_p50_us", r.write_p50_us);
+    append_optional(out, "write_p95_us", r.write_p95_us);
+    out += "}";
   }
   out += "\n  ]\n}\n";
   try {

@@ -23,9 +23,22 @@
 //                      are in-place overwrites (submit_update) riding
 //                      the same queue as the searches, which serialize
 //                      around them in submission order. q/s counts all
-//                      operations; percentiles are the wrapper's
-//                      end-to-end reservoir over both kinds. The gap to
+//                      operations; percentiles are the search class's
+//                      end-to-end reservoir (writes keep their own
+//                      class reservoir in ServeStats). The gap to
 //                      *_serve_async is the price of write barriers.
+//
+//   engine_open_loop   the open-loop operating point: Poisson arrivals
+//                      at a fixed offered rate with 20 ms deadlines and
+//                      5% writes, at a fixed 128x64 geometry (see
+//                      measure_open_loop_point). Emits schema-v3
+//                      offered_qps / achieved_qps / shed_rate fields so
+//                      bench_compare gates shed growth. The printed
+//                      open-loop section also sweeps offered load,
+//                      replays a 5x burst, and A/Bs FIFO vs
+//                      search-first admission — printed only, since
+//                      those points are relative to this host's
+//                      measured capacity.
 //
 // Sharded fleet modes (4 engine shards, scatter-gather) ride the same
 // run:
@@ -57,9 +70,19 @@
 // fsync, recovery time vs log length) — see run_durability below; the
 // records land in BENCH_durable.json under the same schema-v2 gate.
 //
-// Usage: bench_serve [--durability] [--json <path>] [rows] [dims] [queries]
+// With --open-loop <qps> the binary runs ONLY one open-loop pass at the
+// positional geometry and the given offered rate (generous 100 ms
+// deadline); --assert-no-shed then exits non-zero if anything was shed
+// — the CI smoke that proves admission control stays out of the way at
+// low load.
+//
+// Usage: bench_serve [--durability] [--json <path>]
+//                    [--open-loop <qps>] [--assert-no-shed]
+//                    [rows] [dims] [queries]
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -79,6 +102,7 @@
 #include "serve/snapshot.hpp"
 #include "serve/wal.hpp"
 #include "util/durable_file.hpp"
+#include "util/rng.hpp"
 
 #include "bench_json.hpp"
 
@@ -169,14 +193,14 @@ ServeNumbers measure(const std::string& prefix, std::size_t rows,
     numbers.async_qps =
         wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
     numbers.mean_batch =
-        stats.batches > 0 ? static_cast<double>(stats.served) /
+        stats.batches > 0 ? static_cast<double>(stats.search.served) /
                                 static_cast<double>(stats.batches)
                           : 0.0;
     records.push_back(from_reservoir(prefix + "_serve_async", rows, dims,
-                                     stats.end_to_end_us,
+                                     stats.search.end_to_end_us,
                                      numbers.async_qps));
     records.push_back(from_reservoir(prefix + "_serve_queue_wait", rows,
-                                     dims, stats.queue_wait_us,
+                                     dims, stats.search.queue_wait_us,
                                      numbers.async_qps));
   }
 
@@ -229,9 +253,9 @@ ServeNumbers measure(const std::string& prefix, std::size_t rows,
     const auto stats = async_index.stats();
     numbers.mixed_qps =
         wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
-    numbers.writes = stats.writes_served;
+    numbers.writes = stats.write.served;
     records.push_back(from_reservoir(prefix + "_serve_mixed", rows, dims,
-                                     stats.end_to_end_us,
+                                     stats.search.end_to_end_us,
                                      numbers.mixed_qps));
   }
   return numbers;
@@ -338,10 +362,10 @@ void measure_sharded(std::size_t rows, std::size_t dims,
       for (auto& write : writes) (void)write.get();
       writes.clear();
     }
-    // One session, one reservoir: every op — write or search — waits
-    // behind the writes queued ahead of it, and the search is always
-    // last in its burst, so the p95 is the serialization stall.
-    out.queue_wait = async_index.stats().queue_wait_us;
+    // The search class's own reservoir: the search is always last in
+    // its burst, so its queue wait IS the serialization stall behind
+    // the writes queued ahead of it.
+    out.queue_wait = async_index.stats().search.queue_wait_us;
     return out;
   };
 
@@ -372,7 +396,8 @@ void measure_sharded(std::size_t rows, std::size_t dims,
       for (auto& write : writes) (void)write.get();
       writes.clear();
     }
-    out.queue_wait = async_fleet.shard_session(1).stats().queue_wait_us;
+    out.queue_wait =
+        async_fleet.shard_session(1).stats().search.queue_wait_us;
     async_fleet.shutdown();
     return out;
   };
@@ -435,6 +460,250 @@ void measure_sharded_large(std::vector<benchjson::Record>& records) {
   std::printf("sharded_serve_large  %zu rows x 4 shards   %6.0f q/s   "
               "p95 %8.1f us\n",
               kRows, record.qps, record.latency_p95_us);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop load generation.
+//
+// The closed-loop modes above submit as fast as the server completes —
+// offered load adapts to capacity, so they can never show what happens
+// when demand exceeds it. The open-loop generator schedules Poisson
+// arrivals at a fixed offered rate on an absolute timeline
+// (sleep_until against the run's start, so generator jitter never
+// compounds) and submits without waiting; requests carry a deadline and
+// the admission policy decides what to shed. Per-class streams fall out
+// of Poisson superposition: thinning one arrival process with a
+// Bernoulli class draw is equivalent to independent search and write
+// Poisson streams at the split rates.
+
+struct OpenLoopConfig {
+  double offered_qps = 0.0;       ///< base arrival rate (> 0)
+  std::size_t arrivals = 0;       ///< total scheduled arrivals
+  std::uint64_t deadline_us = 0;  ///< per-search deadline; 0 = none
+  double write_fraction = 0.0;    ///< P(arrival is an in-place update)
+  double burst_mult = 1.0;        ///< rate multiplier inside the burst
+  serve::AdmissionPolicy admission;
+};
+
+struct OpenLoopResult {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::uint64_t shed_submit = 0;
+  std::uint64_t shed_dispatch = 0;
+  double achieved_qps = 0.0;
+  double shed_rate = 0.0;
+  core::LatencyReservoir::Summary latency;        ///< served searches
+  core::LatencyReservoir::Summary write_latency;  ///< served writes
+};
+
+/// One open-loop run against a fresh async session over `backend`.
+/// Arrivals in [arrivals/3, arrivals/2) — the middle sixth — use
+/// burst_mult x the base rate, so burst_mult = 1 is a flat run.
+OpenLoopResult open_loop_run(serve::AmIndex& backend, std::size_t rows,
+                             const std::vector<serve::SearchRequest>& requests,
+                             const std::vector<std::vector<int>>& fresh,
+                             const OpenLoopConfig& config,
+                             std::uint64_t seed) {
+  serve::AsyncOptions options;
+  // Deep queue: deadline shedding, not queue overflow, is the
+  // admission mechanism under test here.
+  options.queue_depth = config.arrivals + 8;
+  options.max_batch = 32;
+  options.max_wait_us = 100;
+  options.admission = config.admission;
+  serve::AsyncAmIndex async_index(backend, options);
+
+  util::Rng rng(seed);
+  std::vector<std::future<serve::SearchResponse>> search_futures;
+  std::vector<std::future<serve::WriteReceipt>> write_futures;
+  search_futures.reserve(config.arrivals);
+  OpenLoopResult out;
+  out.offered = config.arrivals;
+
+  const auto start = Clock::now();
+  double t = 0.0;  // absolute arrival time offset, seconds
+  for (std::size_t i = 0; i < config.arrivals; ++i) {
+    const bool in_burst =
+        i >= config.arrivals / 3 && i < config.arrivals / 2;
+    const double rate =
+        config.offered_qps * (in_burst ? config.burst_mult : 1.0);
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(t)));
+    try {
+      if (rng.bernoulli(config.write_fraction)) {
+        write_futures.push_back(
+            async_index.submit_update(i % rows, fresh[i % fresh.size()]));
+      } else {
+        serve::SearchRequest request = requests[i % requests.size()];
+        request.submit.deadline_us = config.deadline_us;
+        search_futures.push_back(async_index.submit(request));
+      }
+    } catch (const serve::RejectedRequest&) {
+      ++out.shed;  // submit-time: deadline estimate or queue share cap
+    }
+  }
+  for (auto& future : search_futures) {
+    try {
+      (void)future.get();
+      ++out.completed;
+    } catch (const serve::RejectedRequest&) {
+      ++out.shed;  // dispatch-time: deadline expired while queued
+    }
+  }
+  for (auto& future : write_futures) {
+    (void)future.get();
+    ++out.completed;
+  }
+  const double wall = seconds_since(start);
+
+  const auto stats = async_index.stats();
+  out.shed_submit = stats.shed_submit;
+  out.shed_dispatch = stats.shed_dispatch;
+  out.achieved_qps =
+      wall > 0.0 ? static_cast<double>(out.completed) / wall : 0.0;
+  out.shed_rate = out.offered > 0
+                      ? static_cast<double>(out.shed) /
+                            static_cast<double>(out.offered)
+                      : 0.0;
+  out.latency = stats.search.end_to_end_us;
+  out.write_latency = stats.write.end_to_end_us;
+  return out;
+}
+
+/// The printed open-loop scenarios at the CLI geometry: a latency-vs-
+/// offered-load sweep, a 5x burst, and the priority A/B (FIFO vs
+/// search-first admission behind a write-heavy stream). Every run gets
+/// its own backend built from `db` — the write streams mutate it.
+void measure_open_loop(std::size_t rows, std::size_t dims,
+                       const std::vector<std::vector<int>>& db,
+                       const std::vector<std::vector<int>>& queries) {
+  std::vector<serve::SearchRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  const auto fresh = data::random_int_vectors(64, dims, 4, 9);
+  const auto run = [&](const OpenLoopConfig& config) {
+    serve::EngineIndex backend;
+    backend.configure(csp::DistanceMetric::kHamming, 2);
+    backend.store(db);
+    (void)backend.search(requests.front());
+    return open_loop_run(backend, rows, requests, fresh, config, 17);
+  };
+
+  // Capacity estimate from a quick closed sync loop: the sweep's load
+  // points are fractions of what one dispatcher can actually serve.
+  double capacity;
+  {
+    serve::EngineIndex probe;
+    probe.configure(csp::DistanceMetric::kHamming, 2);
+    probe.store(db);
+    (void)probe.search(requests.front());
+    const std::size_t n = std::min<std::size_t>(requests.size(), 64);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) (void)probe.search(requests[i]);
+    const double wall = seconds_since(t0);
+    capacity = wall > 0.0 ? static_cast<double>(n) / wall : 1000.0;
+  }
+
+  std::printf("\nopen loop (Poisson arrivals, deadline 20 ms, capacity "
+              "estimate %.0f q/s):\n",
+              capacity);
+  std::printf("  %-14s %10s %10s %9s %9s %6s\n", "scenario", "offered",
+              "achieved", "p50 us", "p95 us", "shed");
+  const auto row = [&](const char* name, double offered,
+                       const OpenLoopResult& r) {
+    std::printf("  %-14s %10.0f %10.0f %9.1f %9.1f %5.1f%%  "
+                "(submit %llu, dispatch %llu)\n",
+                name, offered, r.achieved_qps, r.latency.p50_us,
+                r.latency.p95_us, r.shed_rate * 100.0,
+                static_cast<unsigned long long>(r.shed_submit),
+                static_cast<unsigned long long>(r.shed_dispatch));
+  };
+
+  OpenLoopConfig config;
+  config.arrivals = std::max<std::size_t>(queries.size(), 128);
+  config.deadline_us = 20000;
+  for (const double load : {0.25, 0.5, 1.0, 1.5}) {
+    config.offered_qps = capacity * load;
+    char name[32];
+    std::snprintf(name, sizeof name, "load %.2fx", load);
+    row(name, config.offered_qps, run(config));
+  }
+
+  // Burst: a flat half-capacity stream with a 5x window in the middle
+  // sixth — the deadline sheds the excess instead of letting the queue
+  // backlog smear the tail across the rest of the run.
+  config.offered_qps = capacity * 0.5;
+  config.burst_mult = 5.0;
+  row("burst 5x", config.offered_qps, run(config));
+  config.burst_mult = 1.0;
+
+  // Priority A/B: 30% writes riding the same stream. FIFO makes every
+  // search wait behind the writes ahead of it; search-first admission
+  // bounds that wait at max_writes_ahead.
+  config.offered_qps = capacity * 0.5;
+  config.write_fraction = 0.3;
+  config.admission.order = serve::AdmissionPolicy::ClassOrder::kFifo;
+  const auto fifo = run(config);
+  config.admission.order = serve::AdmissionPolicy::ClassOrder::kSearchFirst;
+  config.admission.max_writes_ahead = 2;
+  const auto ahead = run(config);
+  row("30%w fifo", config.offered_qps, fifo);
+  row("30%w search1st", config.offered_qps, ahead);
+  std::printf("  search-first search p95 %7.1f us vs fifo %7.1f us "
+              "(write p95 %7.1f vs %7.1f us)\n",
+              ahead.latency.p95_us, fifo.latency.p95_us,
+              ahead.write_latency.p95_us, fifo.write_latency.p95_us);
+}
+
+/// The committed open-loop operating point: fixed 128 x 64 geometry,
+/// 512 arrivals at 700 offered q/s (about half this container's
+/// closed-loop capacity), 5% writes, 20 ms deadline. Emitted at its
+/// own geometry on every run — like sharded_serve_large — so the
+/// bench_compare shed-rate and latency gates track it no matter what
+/// the positional arguments say.
+void measure_open_loop_point(std::vector<benchjson::Record>& records) {
+  constexpr std::size_t kRows = 128;
+  constexpr std::size_t kDims = 64;
+  const auto db = data::random_int_vectors(kRows, kDims, 4, 1);
+  const auto queries = data::random_int_vectors(256, kDims, 4, 2);
+  const auto fresh = data::random_int_vectors(64, kDims, 4, 9);
+  std::vector<serve::SearchRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  serve::EngineIndex backend;
+  backend.configure(csp::DistanceMetric::kHamming, 2);
+  backend.store(db);
+  (void)backend.search(requests.front());
+
+  OpenLoopConfig config;
+  config.offered_qps = 700.0;
+  config.arrivals = 512;
+  config.deadline_us = 20000;
+  config.write_fraction = 0.05;
+  const auto result =
+      open_loop_run(backend, kRows, requests, fresh, config, 17);
+
+  auto record = base_record("engine_open_loop", kRows, kDims);
+  record.queries = result.offered;
+  record.qps = result.achieved_qps;  // the existing throughput gate
+  record.latency_p50_us = result.latency.p50_us;
+  record.latency_p95_us = result.latency.p95_us;
+  record.latency_p99_us = result.latency.p99_us;
+  record.offered_qps = config.offered_qps;
+  record.achieved_qps = result.achieved_qps;
+  record.shed_rate = result.shed_rate;
+  record.write_p50_us = result.write_latency.p50_us;
+  record.write_p95_us = result.write_latency.p95_us;
+  records.push_back(record);
+  std::printf("engine_open_loop  offered %4.0f q/s   achieved %4.0f q/s   "
+              "p95 %7.1f us   shed %.1f%%\n",
+              config.offered_qps, result.achieved_qps,
+              result.latency.p95_us, result.shed_rate * 100.0);
 }
 
 // Persistence-layer measurements, emitted as schema-v2 records so the
@@ -586,7 +855,8 @@ int run_durability(std::size_t rows, std::size_t dims, std::size_t n_ops,
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--durability] [--json <path>] [rows] [dims] "
+               "usage: %s [--durability] [--json <path>] "
+               "[--open-loop <qps>] [--assert-no-shed] [rows] [dims] "
                "[queries]  (positive integers up to 2^20)\n",
                argv0);
   return 2;
@@ -598,6 +868,8 @@ int main(int argc, char** argv) {
   std::size_t rows = 128, dims = 64, n_queries = 256;
   std::string json_path;
   bool durability = false;
+  double open_loop_qps = 0.0;
+  bool assert_no_shed = false;
   std::size_t* const params[] = {&rows, &dims, &n_queries};
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -607,6 +879,20 @@ int main(int argc, char** argv) {
     }
     if (std::string(argv[i]) == "--durability") {
       durability = true;
+      continue;
+    }
+    if (std::string(argv[i]) == "--open-loop" && i + 1 < argc) {
+      char* end = nullptr;
+      errno = 0;
+      open_loop_qps = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || errno != 0 ||
+          open_loop_qps <= 0.0 || open_loop_qps > 1e6) {
+        return usage(argv[0]);
+      }
+      continue;
+    }
+    if (std::string(argv[i]) == "--assert-no-shed") {
+      assert_no_shed = true;
       continue;
     }
     char* end = nullptr;
@@ -625,6 +911,40 @@ int main(int argc, char** argv) {
   const auto queries = data::random_int_vectors(n_queries, dims, 4, 2);
   serve::SearchRequest warm;
   warm.query = queries.front();
+
+  if (open_loop_qps > 0.0) {
+    // Smoke mode: one open-loop pass at the positional geometry. The
+    // 100 ms deadline is deliberately generous — at low offered load
+    // nothing should come near it, which is exactly what
+    // --assert-no-shed checks.
+    std::vector<serve::SearchRequest> requests(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      requests[i].query = queries[i];
+    }
+    serve::EngineIndex backend;
+    backend.configure(csp::DistanceMetric::kHamming, 2);
+    backend.store(db);
+    (void)backend.search(warm);
+    OpenLoopConfig config;
+    config.offered_qps = open_loop_qps;
+    config.arrivals = n_queries;
+    config.deadline_us = 100000;
+    const auto fresh = data::random_int_vectors(16, dims, 4, 9);
+    const auto result =
+        open_loop_run(backend, rows, requests, fresh, config, 17);
+    std::printf("open loop %zu rows x %zu dims  offered %.0f q/s  "
+                "achieved %.0f q/s  p95 %.1f us  shed %zu/%zu\n",
+                rows, dims, config.offered_qps, result.achieved_qps,
+                result.latency.p95_us, result.shed, result.offered);
+    if (assert_no_shed && result.shed > 0) {
+      std::fprintf(stderr,
+                   "bench_serve: --assert-no-shed: %zu of %zu requests "
+                   "shed at offered %.0f q/s\n",
+                   result.shed, result.offered, config.offered_qps);
+      return 1;
+    }
+    return 0;
+  }
 
   std::printf("bench_serve: %zu rows x %zu dims, %zu queries, "
               "hardware_concurrency=%u\n\n",
@@ -674,6 +994,8 @@ int main(int argc, char** argv) {
 
   measure_sharded(rows, dims, db, queries, records);
   measure_sharded_large(records);
+  measure_open_loop(rows, dims, db, queries);
+  measure_open_loop_point(records);
 
   if (!json_path.empty() &&
       !benchjson::write_json(json_path, "bench_serve", records)) {

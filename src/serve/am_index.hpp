@@ -9,7 +9,7 @@
 //   serve::BankedIndex index(options);          // or EngineIndex
 //   index.configure(csp::DistanceMetric::kHamming, 2);
 //   index.store(database);
-//   auto r = index.search({.query = q, .k = 3});
+//   auto r = index.search({q, /*k=*/3});
 //   for (const auto& hit : r.hits)              // nearest first
 //     use(hit.global_row, hit.bank, hit.sensed_current_a,
 //         hit.margin_a, hit.nominal_distance);
@@ -49,6 +49,7 @@
 
 #include "circuit/write.hpp"
 #include "csp/distance_matrix.hpp"
+#include "serve/reject.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace ferex::serve {
@@ -68,25 +69,30 @@ class AsyncShardedIndex;
 /// leg instead of silently racing dispatchers.
 class CAPABILITY("role") MutationSerialization {};
 
-/// Typed rejection for an index with no live rows (never stored, or
-/// every row removed): no k is valid, and the caller should distinguish
-/// "your k is too big" from "there is nothing to search".
-class EmptyIndex : public std::logic_error {
- public:
-  explicit EmptyIndex(const std::string& what) : std::logic_error(what) {}
-};
+/// Per-request serving policy — the v2 request API. Default-constructed
+/// options are the v1 behavior bit for bit: no deadline, FIFO class
+/// placement. Only the async front doors consult these; the synchronous
+/// path (which never queues) ignores them.
+struct SubmitOptions {
+  /// Latency budget in microseconds, counted from submission. 0 = no
+  /// deadline. Under an async front door a request that has already
+  /// missed its budget — by queue-wait estimate at submit, or by
+  /// measured queue wait at dispatch — is shed with the typed
+  /// DeadlineExceeded (thrown from submit, or surfaced through the
+  /// future) instead of burning backend time on a dead answer.
+  std::uint64_t deadline_us = 0;
 
-/// Typed rejection of a synchronous mutation (configure/store/insert/
-/// remove/update — and ordinal-consuming synchronous serving) while an
-/// AsyncAmIndex owns the index: the async front door owns ordinal
-/// accounting and its dispatchers read the index concurrently, so a
-/// direct mutation would silently race them. Route the write through
-/// AsyncAmIndex::submit_remove/submit_update instead, or shut the async
-/// session down first.
-class MutationWhileServed : public std::logic_error {
- public:
-  explicit MutationWhileServed(const std::string& what)
-      : std::logic_error(what) {}
+  /// Where this request may be placed relative to queued writes.
+  enum class Priority : std::uint8_t {
+    /// Follow the session's AdmissionPolicy::order (the default).
+    kClassDefault = 0,
+    /// Strict submission order regardless of policy — v1 behavior.
+    kFifo,
+    /// Place ahead of queued writes (beyond the policy's bounded
+    /// max_writes_ahead budget), even under a kFifo policy.
+    kUrgent,
+  };
+  Priority priority = Priority::kClassDefault;
 };
 
 /// One nearest-neighbor request.
@@ -97,6 +103,21 @@ struct SearchRequest {
   /// consuming the index's next ordinal. Replay a recorded request with
   /// its ordinal and the response is bit-identical.
   std::optional<std::uint64_t> ordinal;
+  /// v2: deadline + priority. Defaults reproduce v1 exactly.
+  SubmitOptions submit;
+
+  // Explicit constructors (not an aggregate): v1 call sites brace-init
+  // a prefix of the fields, which would warn under
+  // -Wmissing-field-initializers on every build if the v2 field's
+  // default had to be "missing" rather than defaulted here.
+  SearchRequest() = default;
+  SearchRequest(std::vector<int> query_in, std::size_t k_in = 1,
+                std::optional<std::uint64_t> ordinal_in = std::nullopt,
+                SubmitOptions submit_in = {})
+      : query(std::move(query_in)),
+        k(k_in),
+        ordinal(ordinal_in),
+        submit(submit_in) {}
 };
 
 /// One scored row of a response.

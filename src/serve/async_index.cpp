@@ -86,33 +86,120 @@ void AsyncAmIndex::validate_search_submit(const SearchRequest& request) const {
   index_.validate_request(request);
 }
 
+bool AsyncAmIndex::placed_ahead(const SearchRequest& request) const noexcept {
+  switch (request.submit.priority) {
+    case SubmitOptions::Priority::kUrgent:
+      return true;
+    case SubmitOptions::Priority::kFifo:
+      return false;
+    case SubmitOptions::Priority::kClassDefault:
+      break;
+  }
+  return options_.admission.order == AdmissionPolicy::ClassOrder::kSearchFirst;
+}
+
+double AsyncAmIndex::service_estimate_us() const noexcept {
+  if (options_.admission.assumed_service_us > 0) {
+    return static_cast<double>(options_.admission.assumed_service_us);
+  }
+  return est_service_us_.load(std::memory_order_relaxed);
+}
+
+void AsyncAmIndex::note_service(double total_us, std::size_t ops) noexcept {
+  if (ops == 0) return;
+  const double sample = total_us / static_cast<double>(ops);
+  double prev = est_service_us_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    // First observation seeds; afterwards a gentle EWMA (alpha 0.25)
+    // tracks service-time drift without chasing one slow batch.
+    next = prev == 0.0 ? sample : prev + 0.25 * (sample - prev);
+  } while (!est_service_us_.compare_exchange_weak(prev, next,
+                                                  std::memory_order_relaxed));
+}
+
+void AsyncAmIndex::check_submit_deadline(const SearchRequest& request,
+                                         bool ahead) const {
+  const AdmissionPolicy& policy = options_.admission;
+  if (request.submit.deadline_us == 0 ||
+      policy.shed != AdmissionPolicy::ShedPolicy::kSubmitAndDispatch) {
+    return;
+  }
+  const double per_op = service_estimate_us();
+  if (per_op <= 0.0) return;
+  // Ops this request would wait behind: every queued search, plus the
+  // queued writes it cannot overtake (all of them in FIFO placement,
+  // only the bounded max_writes_ahead budget when placed ahead).
+  const std::size_t searches =
+      queued_searches_.load(std::memory_order_relaxed);
+  std::size_t writes = queued_writes_.load(std::memory_order_relaxed);
+  if (ahead) writes = std::min(writes, policy.max_writes_ahead);
+  const double estimate = per_op * static_cast<double>(searches + writes);
+  if (estimate > static_cast<double>(request.submit.deadline_us)) {
+    shed_submit_.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded(
+        "AsyncAmIndex: deadline_us=" +
+        std::to_string(request.submit.deadline_us) +
+        " already hopeless (estimated queue wait " +
+        std::to_string(static_cast<std::uint64_t>(estimate)) + "us)");
+  }
+}
+
 std::future<SearchResponse> AsyncAmIndex::submit(SearchRequest request) {
   validate_search_submit(request);
 
   Pending pending;
   pending.submitted = Clock::now();
 
+  const AdmissionPolicy& policy = options_.admission;
   util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit after shutdown");
   }
+  // Class share: a search class at its queue share is rejected even
+  // while the queue itself has room (a write burst cannot be squeezed
+  // out of admission by search floods, nor vice versa).
+  if (policy.max_queued_searches > 0 &&
+      queued_searches_.load(std::memory_order_relaxed) >=
+          policy.max_queued_searches) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("AsyncAmIndex: search class at queue share " +
+                     std::to_string(policy.max_queued_searches));
+  }
+  const bool ahead = placed_ahead(request);
+  check_submit_deadline(request, ahead);
   const bool pinned = request.ordinal.has_value();
   pending.ordinal = pinned ? *request.ordinal : serial_;
-  pending.write_epoch = writes_admitted_.load(std::memory_order_relaxed);
+  // Ahead-of-write placement trades the epoch wait away: the search
+  // runs against whatever state the index holds when dispatched (see
+  // Pending::kNoEpochWait). FIFO placement keeps the v1 epoch tag and
+  // with it the bit-identical submission-order guarantee.
+  pending.write_epoch = ahead
+                            ? Pending::kNoEpochWait
+                            : writes_admitted_.load(std::memory_order_relaxed);
   pending.request = std::move(request);
   pending.promise.emplace();
   std::future<SearchResponse> future = pending.promise->get_future();
   // Pushers all hold submit_mutex_, so a failed push can only mean the
   // queue is genuinely at depth (pops only make room) — admission
   // control, with the serial untouched.
-  if (!queue_.try_push(std::move(pending))) {
+  const bool pushed =
+      ahead ? queue_.try_push_before(
+                  std::move(pending),
+                  [](const Pending& queued) {
+                    return queued.kind != Pending::Kind::kSearch;
+                  },
+                  policy.max_writes_ahead)
+            : queue_.try_push(std::move(pending));
+  if (!pushed) {
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     throw Overloaded("AsyncAmIndex: request queue at depth " +
                      std::to_string(options_.queue_depth));
   }
   if (!pinned) ++serial_;
   ++searches_admitted_;
+  queued_searches_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
@@ -124,9 +211,18 @@ std::future<WriteReceipt> AsyncAmIndex::admit_write(Pending pending) {
   // records a rejected op, and a crash mid-append leaves a torn —
   // truncated, never-applied — record, not a phantom.
   if (queue_.size() >= queue_.capacity()) {
-    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    writes_rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     throw Overloaded("AsyncAmIndex: request queue at depth " +
                      std::to_string(options_.queue_depth));
+  }
+  // Write-class queue share (see AdmissionPolicy): bounds how much of
+  // the queue a bulk-write burst may hold.
+  if (options_.admission.max_queued_writes > 0 &&
+      queued_writes_.load(std::memory_order_relaxed) >=
+          options_.admission.max_queued_writes) {
+    writes_rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("AsyncAmIndex: write class at queue share " +
+                     std::to_string(options_.admission.max_queued_writes));
   }
   // Journaled at epoch-assignment time, under submit_mutex_: the log
   // order is the write-epoch order is the apply order, so replay
@@ -150,6 +246,7 @@ std::future<WriteReceipt> AsyncAmIndex::admit_write(Pending pending) {
   std::future<WriteReceipt> future = pending.write_promise->get_future();
   queue_.try_push(std::move(pending));
   writes_admitted_.fetch_add(1, std::memory_order_relaxed);
+  queued_writes_.fetch_add(1, std::memory_order_relaxed);
   writes_submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
@@ -162,7 +259,7 @@ std::future<WriteReceipt> AsyncAmIndex::submit_remove(std::size_t global_row) {
 
   util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    writes_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_remove after shutdown");
   }
   {
@@ -186,7 +283,7 @@ std::future<WriteReceipt> AsyncAmIndex::submit_update(std::size_t global_row,
 
   util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    writes_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_update after shutdown");
   }
   {
@@ -213,7 +310,7 @@ std::future<WriteReceipt> AsyncAmIndex::submit_insert(std::vector<int> vector) {
 
   util::MutexLock lock(submit_mutex_);
   if (shutdown_) {
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    writes_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     throw ShutDown("AsyncAmIndex: submit_insert after shutdown");
   }
   {
@@ -260,6 +357,19 @@ std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
                      " exceeds queue depth " +
                      std::to_string(options_.queue_depth));
   }
+  // Class share, all-or-nothing like the capacity check. Batches are
+  // always FIFO-placed and never submit-shed on deadline (an estimate
+  // that rejects one element would have to reject the whole batch);
+  // per-request deadlines still shed at dispatch.
+  if (options_.admission.max_queued_searches > 0 &&
+      queued_searches_.load(std::memory_order_relaxed) + requests.size() >
+          options_.admission.max_queued_searches) {
+    rejected_overload_.fetch_add(requests.size(), std::memory_order_relaxed);
+    throw Overloaded(
+        "AsyncAmIndex: batch of " + std::to_string(requests.size()) +
+        " exceeds search queue share " +
+        std::to_string(options_.admission.max_queued_searches));
+  }
   std::uint64_t next = serial_;
   for (const auto& request : requests) {
     Pending pending;
@@ -275,6 +385,7 @@ std::vector<std::future<SearchResponse>> AsyncAmIndex::submit_batch(
   }
   serial_ = next;
   searches_admitted_ += requests.size();
+  queued_searches_.fetch_add(requests.size(), std::memory_order_relaxed);
   submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
   return futures;
 }
@@ -321,22 +432,42 @@ std::uint64_t AsyncAmIndex::query_serial() const {
 
 ServeStats AsyncAmIndex::stats() const {
   ServeStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.rejected_overload =
+  stats.search.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.search.rejected_overload =
       rejected_overload_.load(std::memory_order_relaxed);
-  stats.rejected_shutdown =
+  stats.search.rejected_shutdown =
       rejected_shutdown_.load(std::memory_order_relaxed);
-  stats.served = served_.load(std::memory_order_relaxed);
+  stats.shed_submit = shed_submit_.load(std::memory_order_relaxed);
+  stats.shed_dispatch = shed_dispatch_.load(std::memory_order_relaxed);
+  stats.search.shed_deadline = stats.shed_submit + stats.shed_dispatch;
+  stats.search.served = served_.load(std::memory_order_relaxed);
+  stats.search.queue_wait_us = queue_wait_us_.summarize();
+  stats.search.end_to_end_us = end_to_end_us_.summarize();
+  stats.write.submitted = writes_submitted_.load(std::memory_order_relaxed);
+  stats.write.rejected_overload =
+      writes_rejected_overload_.load(std::memory_order_relaxed);
+  stats.write.rejected_shutdown =
+      writes_rejected_shutdown_.load(std::memory_order_relaxed);
+  stats.write.served = writes_served_.load(std::memory_order_relaxed);
+  stats.write.queue_wait_us = write_queue_wait_us_.summarize();
+  stats.write.end_to_end_us = write_end_to_end_us_.summarize();
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
-  stats.writes_submitted = writes_submitted_.load(std::memory_order_relaxed);
-  stats.writes_served = writes_served_.load(std::memory_order_relaxed);
-  stats.queue_wait_us = queue_wait_us_.summarize();
-  stats.end_to_end_us = end_to_end_us_.summarize();
   return stats;
 }
 
 void AsyncAmIndex::dispatch_loop() {
+  // Occupancy accounting: a popped op leaves the queue for good (a
+  // carried-over op was already popped), so decrement exactly once at
+  // each pop site — the counters feed admission shares and the submit
+  // wait estimate, where "in a dispatcher's hands" no longer queues.
+  const auto note_popped = [this](const Pending& popped) {
+    if (popped.kind == Pending::Kind::kSearch) {
+      queued_searches_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      queued_writes_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
   std::vector<Pending> batch;
   Pending carry;
   bool have_carry = false;
@@ -345,7 +476,9 @@ void AsyncAmIndex::dispatch_loop() {
     if (have_carry) {
       first = std::move(carry);
       have_carry = false;
-    } else if (!queue_.pop(first)) {
+    } else if (queue_.pop(first)) {
+      note_popped(first);
+    } else {
       break;  // closed and drained; nothing carried over
     }
     if (first.kind != Pending::Kind::kSearch) {
@@ -371,6 +504,7 @@ void AsyncAmIndex::dispatch_loop() {
           break;
         }
       }
+      note_popped(next);
       if (next.kind != Pending::Kind::kSearch ||
           next.write_epoch != batch.front().write_epoch) {
         carry = std::move(next);
@@ -395,9 +529,10 @@ void AsyncAmIndex::serve_write(Pending& pending) {
     });
   }
   // Queue wait ends where work can begin — after the ordering wait,
-  // matching serve_batch's definition so the shared reservoir (and the
-  // regression gate over it) measures one thing.
-  queue_wait_us_.record(us_between(pending.submitted, Clock::now()));
+  // matching serve_batch's definition so the two classes' reservoirs
+  // (and the regression gate over them) measure one thing.
+  const auto apply_start = Clock::now();
+  write_queue_wait_us_.record(us_between(pending.submitted, apply_start));
   WriteReceipt receipt;
   std::exception_ptr error;
   try {
@@ -430,7 +565,8 @@ void AsyncAmIndex::serve_write(Pending& pending) {
     ++writes_applied_;
   }
   order_cv_.notify_all();
-  end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
+  note_service(us_between(apply_start, Clock::now()), 1);
+  write_end_to_end_us_.record(us_between(pending.submitted, Clock::now()));
   writes_served_.fetch_add(1, std::memory_order_relaxed);
   if (error) {
     pending.write_promise->set_exception(std::move(error));
@@ -443,13 +579,55 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
   // Wait for the batch's epoch: every write submitted before these
   // searches must have applied (writes in turn wait for older searches,
   // so the pair of gates serializes execution in submission order).
-  {
+  // Priority-placed batches carry the kNoEpochWait sentinel and skip
+  // the wait — that is the placement's contract; the shared lock below
+  // still keeps their execution disjoint from write application.
+  if (batch.front().write_epoch != Pending::kNoEpochWait) {
     util::MutexLock lock(order_mutex_);
     order_cv_.wait(order_mutex_, [&]() REQUIRES(order_mutex_) {
       return writes_applied_ == batch.front().write_epoch;
     });
   }
   const auto dispatch_start = Clock::now();
+  const std::size_t admitted = batch.size();
+
+  // Dispatch-time deadline shed: a request whose measured queue wait
+  // already exceeds its budget is failed with DeadlineExceeded instead
+  // of burning backend time on an answer nobody is waiting for. Shed
+  // requests are counted, not timed (the reservoirs summarize served
+  // traffic), and still count as completed searches below — a write
+  // waiting on searches admitted before it must not deadlock on sheds.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::uint64_t deadline = batch[i].request.submit.deadline_us;
+    if (deadline > 0 &&
+        us_between(batch[i].submitted, dispatch_start) >
+            static_cast<double>(deadline)) {
+      shed_dispatch_.fetch_add(1, std::memory_order_relaxed);
+      batch[i].promise->set_exception(std::make_exception_ptr(
+          DeadlineExceeded("AsyncAmIndex: deadline_us=" +
+                           std::to_string(deadline) + " expired in queue")));
+      continue;
+    }
+    if (kept != i) batch[kept] = std::move(batch[i]);
+    ++kept;
+  }
+  batch.resize(kept);
+
+  // Completion unblocks any write waiting on searches admitted before
+  // it (notified on every exit path below; counts sheds too).
+  const auto note_completed = [&] {
+    {
+      util::MutexLock lock(order_mutex_);
+      searches_completed_ += admitted;
+    }
+    order_cv_.notify_all();
+  };
+  if (batch.empty()) {
+    note_completed();
+    return;
+  }
+
   for (const auto& pending : batch) {
     queue_wait_us_.record(us_between(pending.submitted, dispatch_start));
   }
@@ -460,23 +638,26 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
                                            std::memory_order_relaxed)) {
   }
 
-  // Completion unblocks any write waiting on searches admitted before
-  // it (notified on every exit path below).
-  const auto note_completed = [&] {
-    {
-      util::MutexLock lock(order_mutex_);
-      searches_completed_ += batch.size();
-    }
-    order_cv_.notify_all();
-  };
-
+  // Backend execution holds validate_mutex_ shared: epoch-ordered
+  // batches never overlap write application anyway (the order gates
+  // exclude them), but a priority-placed batch can complete before an
+  // older epoch's searches and thereby satisfy a write's
+  // searches_before wait early — the shared lock keeps that write's
+  // exclusive application off the backend until every in-flight search
+  // has left it. Readers share, so batch concurrency is unchanged.
   if (batch.size() == 1) {
     auto& pending = batch.front();
     try {
-      fulfill(pending, index_.serve_at(pending.request, pending.ordinal));
+      SearchResponse response;
+      {
+        util::ReaderMutexLock guard(validate_mutex_);
+        response = index_.serve_at(pending.request, pending.ordinal);
+      }
+      fulfill(pending, std::move(response));
     } catch (...) {
       fail(pending, std::current_exception());
     }
+    note_service(us_between(dispatch_start, Clock::now()), 1);
     note_completed();
     return;
   }
@@ -490,7 +671,11 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
     ordinals.push_back(pending.ordinal);
   }
   try {
-    auto responses = index_.serve_batch_at(requests, ordinals);
+    std::vector<SearchResponse> responses;
+    {
+      util::ReaderMutexLock guard(validate_mutex_);
+      responses = index_.serve_batch_at(requests, ordinals);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       fulfill(batch[i], std::move(responses[i]));
     }
@@ -500,15 +685,21 @@ void AsyncAmIndex::serve_batch(std::vector<Pending>& batch) {
     // a first service) and fail only the futures that themselves throw.
     for (std::size_t i = 0; i < batch.size(); ++i) {
       try {
-        fulfill(batch[i], index_.serve_at(
-                              SearchRequest{std::move(requests[i].query),
-                                            requests[i].k, std::nullopt},
-                              ordinals[i]));
+        SearchResponse response;
+        {
+          util::ReaderMutexLock guard(validate_mutex_);
+          response = index_.serve_at(
+              SearchRequest{std::move(requests[i].query), requests[i].k,
+                            std::nullopt},
+              ordinals[i]);
+        }
+        fulfill(batch[i], std::move(response));
       } catch (...) {
         fail(batch[i], std::current_exception());
       }
     }
   }
+  note_service(us_between(dispatch_start, Clock::now()), batch.size());
   note_completed();
 }
 

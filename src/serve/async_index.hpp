@@ -10,7 +10,14 @@
 //     submit(request) returns std::future<SearchResponse> immediately;
 //   * admission control — past `queue_depth` pending requests,
 //     submissions fail fast with the typed Overloaded error (callers
-//     shed or retry; latency never grows without bound);
+//     shed or retry; latency never grows without bound). The v2
+//     AdmissionPolicy extends this with per-class queue shares,
+//     deadline-based shedding (a request whose `deadline_us` budget is
+//     already hopeless by queue-wait estimate throws DeadlineExceeded
+//     at submit; one that expires while queued is shed at dispatch,
+//     the future surfacing the same type), and class priorities
+//     (kSearchFirst placement bounds how many queued writes a search
+//     can wait behind). Every rejection derives from RejectedRequest;
 //   * batch coalescing — dispatcher threads drain the queue and fuse
 //     adjacent singles into one AmIndex::search_batch_at call, up to
 //     `max_batch` requests, lingering up to `max_wait_us` for stragglers
@@ -82,17 +89,58 @@ namespace ferex::serve {
 
 class Wal;
 
-/// Admission rejection: the request queue is at queue_depth. Fail-fast
-/// by design — submit never blocks the caller.
-class Overloaded : public std::runtime_error {
- public:
-  explicit Overloaded(const std::string& what) : std::runtime_error(what) {}
-};
+/// Admission-control policy for the async front doors — the v2 API's
+/// session-level half (SubmitOptions is the per-request half). A
+/// default-constructed policy reproduces v1 behavior exactly: no
+/// deadlines enforced, strict FIFO placement, no per-class caps.
+struct AdmissionPolicy {
+  /// Where searches are placed relative to queued writes.
+  enum class ClassOrder : std::uint8_t {
+    /// Strict submission order — v1. Requests carrying
+    /// SubmitOptions::Priority::kUrgent still jump queued writes.
+    kFifo = 0,
+    /// Searches are placed ahead of queued writes (beyond the
+    /// max_writes_ahead budget), so a bulk-write backlog never adds
+    /// more than that bounded budget to search queue wait. Searches
+    /// placed ahead of a write run against the pre-write state — the
+    /// trade the caller opts into; FIFO traffic keeps the bit-identical
+    /// submission-order guarantee.
+    kSearchFirst,
+  };
+  ClassOrder order = ClassOrder::kFifo;
 
-/// Submission after shutdown() — the front door is closed for good.
-class ShutDown : public std::logic_error {
- public:
-  explicit ShutDown(const std::string& what) : std::logic_error(what) {}
+  /// Ahead-of-write placement still yields to this many queued writes
+  /// (counted from the queue's front): the write class's bounded
+  /// anti-starvation budget. 0 = a placed search overtakes every
+  /// queued write.
+  std::size_t max_writes_ahead = 0;
+
+  /// Per-class queue shares: each class may hold at most this many of
+  /// the queue_depth slots (0 = unlimited, v1). A class at its share is
+  /// rejected with Overloaded even while the queue has room, so a
+  /// bulk-write burst cannot squeeze searches out of admission (or vice
+  /// versa).
+  std::size_t max_queued_searches = 0;
+  std::size_t max_queued_writes = 0;
+
+  /// When deadline shedding is decided.
+  enum class ShedPolicy : std::uint8_t {
+    /// Estimate queue wait at submit (shedding hopeless requests with
+    /// DeadlineExceeded before they consume a slot) AND recheck the
+    /// measured wait at dispatch.
+    kSubmitAndDispatch = 0,
+    /// Only shed requests whose measured queue wait exceeded the
+    /// budget at dispatch; submit never second-guesses.
+    kDispatchOnly,
+  };
+  ShedPolicy shed = ShedPolicy::kSubmitAndDispatch;
+
+  /// Per-operation service-time assumption (us) for the submit-time
+  /// queue-wait estimate: estimated wait = ops ahead x this. 0 = learn
+  /// it live from observed service times (an EWMA); the estimate then
+  /// starts at "no idea" and submit sheds nothing until it warms up,
+  /// so a cold session defaults to admitting.
+  std::uint64_t assumed_service_us = 0;
 };
 
 struct AsyncOptions {
@@ -116,24 +164,34 @@ struct AsyncOptions {
   /// use of the same Wal (the MutationWhileServed guard already keeps
   /// the DurableIndex front door closed during the session).
   Wal* wal = nullptr;
+  /// v2: deadline shedding + class priorities (defaults = v1 exactly).
+  AdmissionPolicy admission;
 };
 
 /// Counters + latency percentiles for a serving session (all since
-/// construction; see LatencyReservoir for snapshot semantics). Search
-/// and write traffic are counted separately: writes never coalesce, so
-/// folding them into the batch counters would skew the mean batch size
-/// the serve bench derives.
+/// construction; see LatencyReservoir for snapshot semantics), broken
+/// out per request class — searches and writes queue, shed, and
+/// complete on different terms (writes never coalesce, and folding
+/// their waits into the search reservoirs would skew the percentiles
+/// the serve bench gates).
 struct ServeStats {
-  std::uint64_t submitted = 0;          ///< accepted search requests
-  std::uint64_t rejected_overload = 0;  ///< failed admission (Overloaded)
-  std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown
-  std::uint64_t served = 0;             ///< search futures completed
-  std::uint64_t batches = 0;            ///< search dispatch calls issued
-  std::uint64_t max_batch = 0;          ///< largest coalesced batch
-  std::uint64_t writes_submitted = 0;   ///< accepted insert/remove/update ops
-  std::uint64_t writes_served = 0;      ///< write futures completed
-  core::LatencyReservoir::Summary queue_wait_us;  ///< submit -> dispatch
-  core::LatencyReservoir::Summary end_to_end_us;  ///< submit -> complete
+  /// One request class's view of the session. Reservoirs time served
+  /// traffic only; rejected and shed requests are counted, not timed.
+  struct ClassStats {
+    std::uint64_t submitted = 0;          ///< accepted requests
+    std::uint64_t rejected_overload = 0;  ///< failed admission (Overloaded)
+    std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown
+    std::uint64_t shed_deadline = 0;      ///< DeadlineExceeded sheds
+    std::uint64_t served = 0;             ///< futures completed by service
+    core::LatencyReservoir::Summary queue_wait_us;  ///< submit -> dispatch
+    core::LatencyReservoir::Summary end_to_end_us;  ///< submit -> complete
+  };
+  ClassStats search;
+  ClassStats write;
+  std::uint64_t shed_submit = 0;    ///< deadline sheds decided at submit
+  std::uint64_t shed_dispatch = 0;  ///< deadline sheds decided at dispatch
+  std::uint64_t batches = 0;        ///< search dispatch calls issued
+  std::uint64_t max_batch = 0;      ///< largest coalesced batch
 };
 
 class AsyncAmIndex {
@@ -214,14 +272,21 @@ class AsyncAmIndex {
  private:
   struct Pending {
     enum class Kind { kSearch, kRemove, kUpdate, kInsert };
+    /// write_epoch sentinel for ahead-of-write placed searches: no
+    /// epoch wait — the search runs against whatever state the index
+    /// holds when a dispatcher reaches it (execution still excludes
+    /// write application via validate_mutex_).
+    static constexpr std::uint64_t kNoEpochWait =
+        ~static_cast<std::uint64_t>(0);
     Kind kind = Kind::kSearch;
     SearchRequest request;       ///< kSearch
     std::size_t row = 0;         ///< kRemove / kUpdate
     std::vector<int> vector;     ///< kUpdate / kInsert
     std::uint64_t ordinal = 0;   ///< kSearch (noise stream)
     /// Ordering tag. Searches: how many writes were admitted before
-    /// this op (it runs once that many have applied). Writes: this
-    /// op's index in the admitted write sequence.
+    /// this op (it runs once that many have applied), or kNoEpochWait
+    /// for priority-placed searches. Writes: this op's index in the
+    /// admitted write sequence.
     std::uint64_t write_epoch = 0;
     /// Writes only: searches admitted before this op — it applies once
     /// that many have completed.
@@ -255,6 +320,21 @@ class AsyncAmIndex {
   /// push, counters (submit_mutex_ held, shutdown already checked).
   std::future<WriteReceipt> admit_write(Pending pending)
       REQUIRES(submit_mutex_);
+
+  /// True when this request is placed ahead of queued writes (per its
+  /// SubmitOptions::priority resolved against the session policy).
+  bool placed_ahead(const SearchRequest& request) const noexcept;
+  /// Submit-time deadline gate: throws DeadlineExceeded (counting the
+  /// shed) when the queue-wait estimate alone already exceeds the
+  /// request's budget. A zero estimate (cold EWMA, no assumption)
+  /// admits — the dispatch-time recheck still guards the budget.
+  void check_submit_deadline(const SearchRequest& request, bool ahead) const
+      REQUIRES(submit_mutex_);
+  /// Per-op service time (us) the submit estimate multiplies: the
+  /// policy's assumption when set, else the live EWMA.
+  double service_estimate_us() const noexcept;
+  /// Feeds the live EWMA with one dispatch's measured per-op service.
+  void note_service(double total_us, std::size_t ops) noexcept;
 
   void dispatch_loop();
   /// Serves one coalesced batch: singles through search_at, larger
@@ -318,9 +398,26 @@ class AsyncAmIndex {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> max_batch_{0};
   std::atomic<std::uint64_t> writes_submitted_{0};
+  std::atomic<std::uint64_t> writes_rejected_overload_{0};
+  std::atomic<std::uint64_t> writes_rejected_shutdown_{0};
   std::atomic<std::uint64_t> writes_served_{0};
+  /// Deadline sheds by decision point (search class only — writes
+  /// carry no deadline). mutable: submit sheds are counted from the
+  /// const submit-time gate.
+  mutable std::atomic<std::uint64_t> shed_submit_{0};
+  std::atomic<std::uint64_t> shed_dispatch_{0};
+  /// Queue occupancy per class, for admission shares and the submit
+  /// wait estimate. Incremented under submit_mutex_ at push, decremented
+  /// by dispatchers at pop (GUARDED_BY-exempt atomics by design).
+  std::atomic<std::size_t> queued_searches_{0};
+  std::atomic<std::size_t> queued_writes_{0};
+  /// Live EWMA of per-op service time (us), feeding the submit-time
+  /// queue-wait estimate when the policy assumes nothing. 0 = cold.
+  std::atomic<double> est_service_us_{0.0};
   core::LatencyReservoir queue_wait_us_;
   core::LatencyReservoir end_to_end_us_;
+  core::LatencyReservoir write_queue_wait_us_;
+  core::LatencyReservoir write_end_to_end_us_;
 };
 
 }  // namespace ferex::serve

@@ -144,6 +144,10 @@ AsyncShardedIndex::Ticket AsyncShardedIndex::submit(SearchRequest request) {
                 ? request.k
                 : std::min(request.k + 1, shadow_live_[s]);
     sub.ordinal = ordinal;
+    // v2: the deadline budget and priority ride onto every sub-request
+    // — each shard session enforces them against its own queue (the
+    // shard-local analogue of the per-class budgets).
+    sub.submit = request.submit;
     // Overloaded from a full shard queue rejects the whole search with
     // the serial unmoved (advanced only below, after every shard
     // accepted); sibling sub-searches already queued are const

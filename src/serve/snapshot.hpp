@@ -40,7 +40,9 @@ namespace ferex::serve {
 
 /// A structurally valid snapshot that does not fit the index it is
 /// being restored into (wrong backend kind, fidelity, or geometry).
-class SnapshotMismatch : public std::runtime_error {
+/// Index-state damage, not a request rejection, so it deliberately
+/// does not derive from RejectedRequest.
+class SnapshotMismatch : public std::runtime_error {  // ferex-lint: allow(rejection-base)
  public:
   explicit SnapshotMismatch(const std::string& what)
       : std::runtime_error("snapshot mismatch: " + what) {}

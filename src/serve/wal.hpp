@@ -42,8 +42,9 @@ namespace ferex::serve {
 
 /// Malformed WAL bytes before the tail (a torn tail is not an error —
 /// it recovers by truncation). `offset()` is the byte position of the
-/// corrupt record within the log file.
-class CorruptLog : public std::runtime_error {
+/// corrupt record within the log file. Not a request rejection — no
+/// caller retries past corruption — so it stays off RejectedRequest.
+class CorruptLog : public std::runtime_error {  // ferex-lint: allow(rejection-base)
  public:
   CorruptLog(std::uint64_t offset, const std::string& what)
       : std::runtime_error("corrupt WAL at byte " + std::to_string(offset) +

@@ -55,6 +55,28 @@ class BoundedQueue {
     return true;
   }
 
+  /// Enqueues like try_push, but places the item just ahead of the
+  /// first element matching `low` beyond the first `skip` matches
+  /// (counting from the front); with no such element it goes to the
+  /// back. The class-priority placement primitive: a search overtakes
+  /// queued low-class items while still yielding to a bounded budget
+  /// of them, and same-class FIFO order is never disturbed.
+  template <typename Pred>
+  bool try_push_before(T item, Pred&& low, std::size_t skip) {
+    {
+      MutexLock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      auto it = items_.begin();
+      std::size_t yielded = 0;
+      for (; it != items_.end(); ++it) {
+        if (low(*it) && ++yielded > skip) break;
+      }
+      items_.insert(it, std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item arrives or the queue is closed *and* drained;
   /// false only in the latter case (drain mode still hands out items).
   bool pop(T& out) {

@@ -1,0 +1,18 @@
+// Violation fixture: an exception type in serving code deriving
+// straight from std::runtime_error instead of serve::RejectedRequest
+// (rejection-base). The throw and the ctor-init below must NOT fire —
+// only the base clause is a violation.
+#include <stdexcept>
+#include <string>
+
+namespace ferex_fixture {
+
+class QueueSaturated : public std::runtime_error {
+ public:
+  explicit QueueSaturated(const std::string& what)
+      : std::runtime_error("saturated: " + what) {}
+};
+
+void throw_is_fine() { throw std::runtime_error("not a base clause"); }
+
+}  // namespace ferex_fixture

@@ -104,10 +104,10 @@ TEST_P(AsyncParityT, CoalescedResultsBitIdenticalToSynchronousSearch) {
   }
   EXPECT_EQ(async_index.query_serial(), queries.size());
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.submitted, queries.size());
-  EXPECT_EQ(stats.served, queries.size());
-  EXPECT_EQ(stats.queue_wait_us.count, queries.size());
-  EXPECT_EQ(stats.end_to_end_us.count, queries.size());
+  EXPECT_EQ(stats.search.submitted, queries.size());
+  EXPECT_EQ(stats.search.served, queries.size());
+  EXPECT_EQ(stats.search.queue_wait_us.count, queries.size());
+  EXPECT_EQ(stats.search.end_to_end_us.count, queries.size());
 }
 
 TEST_P(AsyncParityT, SubmitBatchBitIdenticalToSynchronousBatch) {
@@ -302,9 +302,9 @@ TEST(AsyncLifecycleT, AdmissionControlRejectsWhenQueueIsFull) {
   EXPECT_EQ(queued_b.get().hits.front().sensed_current_a, 2.0);
 
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.submitted, 3u);
-  EXPECT_EQ(stats.rejected_overload, 1u);
-  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.search.submitted, 3u);
+  EXPECT_EQ(stats.search.rejected_overload, 1u);
+  EXPECT_EQ(stats.search.served, 3u);
 }
 
 TEST(AsyncLifecycleT, SubmitBatchAdmissionIsAllOrNothing) {
@@ -346,7 +346,7 @@ TEST(AsyncLifecycleT, ShutdownDrainsInFlightRequests) {
   EXPECT_EQ(blocked.get().hits.front().sensed_current_a, 0.0);
   EXPECT_EQ(queued_a.get().hits.front().sensed_current_a, 1.0);
   EXPECT_EQ(queued_b.get().hits.front().sensed_current_a, 2.0);
-  EXPECT_EQ(async_index.stats().served, 3u);
+  EXPECT_EQ(async_index.stats().search.served, 3u);
 }
 
 TEST(AsyncLifecycleT, DestructorDrainsLikeShutdown) {
@@ -367,8 +367,8 @@ TEST(AsyncLifecycleT, SubmissionsAfterShutdownAreRejected) {
   const std::vector<SearchRequest> batch(2, req({0, 1}));
   EXPECT_THROW((void)async_index.submit_batch(batch), ShutDown);
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.rejected_shutdown, 3u);
-  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.search.rejected_shutdown, 3u);
+  EXPECT_EQ(stats.search.submitted, 0u);
   // shutdown() is idempotent.
   async_index.shutdown();
 }
@@ -393,7 +393,7 @@ TEST(AsyncLifecycleT, BackendExceptionPropagatesThroughTheFuture) {
   backend.throw_on_search = false;
   auto ok = async_index.submit(req({0, 1}));
   EXPECT_EQ(ok.get().hits.size(), 1u);
-  EXPECT_EQ(async_index.stats().served, 2u);
+  EXPECT_EQ(async_index.stats().search.served, 2u);
 }
 
 TEST(AsyncLifecycleT, MalformedRequestsRejectedAtSubmitConsumeNothing) {
@@ -404,7 +404,7 @@ TEST(AsyncLifecycleT, MalformedRequestsRejectedAtSubmitConsumeNothing) {
   EXPECT_THROW((void)async_index.submit(req({0, 1}, /*k=*/99)),
                std::invalid_argument);  // k > stored_count
   EXPECT_EQ(async_index.query_serial(), 0u);
-  EXPECT_EQ(async_index.stats().submitted, 0u);
+  EXPECT_EQ(async_index.stats().search.submitted, 0u);
 }
 
 TEST(AsyncLifecycleT, DispatcherCoalescesQueuedSinglesIntoOneBatch) {
@@ -424,11 +424,11 @@ TEST(AsyncLifecycleT, DispatcherCoalescesQueuedSinglesIntoOneBatch) {
   for (auto& future : queued) (void)future.get();
 
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.served, 5u);
+  EXPECT_EQ(stats.search.served, 5u);
   EXPECT_EQ(stats.batches, 2u);     // {first}, {the four coalesced}
   EXPECT_EQ(stats.max_batch, 4u);   // all four fused into one call
-  EXPECT_EQ(stats.queue_wait_us.count, 5u);
-  const auto& e2e = stats.end_to_end_us;
+  EXPECT_EQ(stats.search.queue_wait_us.count, 5u);
+  const auto& e2e = stats.search.end_to_end_us;
   EXPECT_EQ(e2e.count, 5u);
   EXPECT_LE(e2e.p50_us, e2e.p95_us);
   EXPECT_LE(e2e.p95_us, e2e.p99_us);
@@ -463,8 +463,8 @@ TEST(AsyncLifecycleT, ConcurrentSubmittersAllComplete) {
     EXPECT_EQ(future.get().hits.size(), 1u);
   }
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.submitted, futures.size());
-  EXPECT_EQ(stats.submitted + overloaded.load(), kThreads * kPerThread);
+  EXPECT_EQ(stats.search.submitted, futures.size());
+  EXPECT_EQ(stats.search.submitted + overloaded.load(), kThreads * kPerThread);
   EXPECT_EQ(async_index.query_serial(), futures.size());
 }
 

@@ -87,6 +87,15 @@ TEST(FerexLint, FlagsRawFileIoInBench) {
   EXPECT_NE(out.find("raw-file-io"), std::string::npos) << out;
 }
 
+TEST(FerexLint, FlagsRejectionBase) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("src/serve/bad_reject.cpp"), out), 1) << out;
+  EXPECT_NE(out.find("rejection-base"), std::string::npos) << out;
+  // Exactly one finding: the throw and the constructor-init in the
+  // fixture are legitimate uses and must not trip the rule.
+  EXPECT_EQ(out.find("rejection-base"), out.rfind("rejection-base")) << out;
+}
+
 TEST(FerexLint, FlagsUnguardedPragma) {
   std::string out;
   EXPECT_EQ(lint(fixture("unguarded_pragma.cpp"), out), 1) << out;

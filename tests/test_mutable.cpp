@@ -690,9 +690,9 @@ TEST_P(AsyncWriteParityT, InterleavedWritesMatchTheSynchronousSequence) {
     EXPECT_DOUBLE_EQ(receipt.cost.energy_j, sync_receipts[i].cost.energy_j);
   }
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.writes_submitted, writes.size());
-  EXPECT_EQ(stats.writes_served, writes.size());
-  EXPECT_EQ(stats.served, searches.size());
+  EXPECT_EQ(stats.write.submitted, writes.size());
+  EXPECT_EQ(stats.write.served, writes.size());
+  EXPECT_EQ(stats.search.served, searches.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -742,8 +742,8 @@ TEST(AsyncWriteT, SubmitValidationRejectsMalformedWritesConsumingNothing) {
   EXPECT_THROW(async_index.submit_update(9, std::vector<int>(4, 1)),
                std::out_of_range);
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.writes_submitted, 0u);
-  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.write.submitted, 0u);
+  EXPECT_EQ(stats.search.submitted, 0u);
 }
 
 TEST(AsyncWriteT, AllRemovedIndexRejectsSearchAtSubmit) {
@@ -841,9 +841,9 @@ TEST(AsyncWriteT, ConcurrentSearchersAndWritersDrainCleanly) {
   async_index.shutdown();
 
   const auto stats = async_index.stats();
-  EXPECT_EQ(stats.served, stats.submitted);
-  EXPECT_EQ(stats.writes_served, stats.writes_submitted);
-  EXPECT_EQ(search_ok.load(), stats.served);
+  EXPECT_EQ(stats.search.served, stats.search.submitted);
+  EXPECT_EQ(stats.write.served, stats.write.submitted);
+  EXPECT_EQ(search_ok.load(), stats.search.served);
   EXPECT_EQ(index.live_count(), 8u);
 }
 

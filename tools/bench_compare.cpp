@@ -7,16 +7,24 @@
 //   bench_compare <baseline.json> <fresh.json>
 //                 [--max-regression <frac>]          (default 0.25)
 //                 [--max-latency-regression <frac>]  (default 0.25)
+//                 [--max-shed-increase <frac>]       (default 0.05)
 //                 [--require-same-concurrency]
 //
 // Labels are matched by name; labels present in only one document are
-// reported but never gate (benches grow modes over time). Two gates per
-// shared label:
+// reported but never gate (benches grow modes over time). Three gates
+// per shared label:
 //   * q/s: fresh qps below (1 - frac) x baseline qps -> regression;
 //   * p95 latency: fresh latency_p95_us above (1 + frac) x baseline ->
-//     regression (serve-path tails regress long before means do).
-// Either kind -> exit 1. A label whose baseline p95 is 0 (older
-// snapshot, or a mode without latency samples) skips the latency gate.
+//     regression (serve-path tails regress long before means do);
+//   * shed rate (schema v3 open-loop records): fresh shed_rate above
+//     baseline shed_rate + frac -> regression. Absolute margin, not
+//     relative: a committed operating point of 0.00 shed would make any
+//     relative threshold vacuous or infinite.
+// Any kind -> exit 1. A label whose baseline p95 is 0 (older snapshot,
+// or a mode without latency samples) skips the latency gate; a label
+// where either side carries no shed_rate (schema v2 snapshots, closed
+// loop modes) skips the shed gate — the dispatch is per record, so a v3
+// document gates v3-vs-v3 labels while still reading v2 baselines.
 //
 // --require-same-concurrency downgrades both gates to a note (exit 0)
 // when the two documents record different hardware_concurrency values:
@@ -37,10 +45,12 @@ namespace {
 struct Entry {
   std::string key;  ///< "label rowsxdims" — labels repeat per geometry
   double qps = 0.0;
-  double p95_us = 0.0;  ///< 0 when the record carries no latency
+  double p95_us = 0.0;     ///< 0 when the record carries no latency
+  double shed_rate = -1.0;  ///< negative when the record carries none
 };
 
 struct BenchDoc {
+  unsigned schema_version = 2;  ///< pre-v3 documents did gate already
   unsigned hardware_concurrency = 0;
   std::vector<Entry> results;
 };
@@ -86,6 +96,15 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
     return false;
   }
   doc.hardware_concurrency = static_cast<unsigned>(hw);
+  // schema_version dispatches the optional-field parse: a v2 document
+  // legitimately has no shed_rate anywhere, so don't even look for it —
+  // a stray "shed_rate" substring in a label could otherwise be
+  // misparsed as data.
+  double version = 0.0;
+  if (find_number_after(0, "\"schema_version\"", version) !=
+      std::string::npos) {
+    doc.schema_version = static_cast<unsigned>(version);
+  }
 
   std::size_t pos = 0;
   for (;;) {
@@ -118,11 +137,20 @@ bool parse_doc(const std::string& path, BenchDoc& doc) {
     const std::size_t p95_at =
         find_number_after(close, "\"latency_p95_us\"", p95);
     if (p95_at == std::string::npos || p95_at >= record_end) p95 = 0.0;
+    // shed_rate is v3-only and per-record optional (open-loop modes
+    // write it, closed-loop modes omit it).
+    double shed = -1.0;
+    if (doc.schema_version >= 3) {
+      const std::size_t shed_at =
+          find_number_after(close, "\"shed_rate\"", shed);
+      if (shed_at == std::string::npos || shed_at >= record_end) shed = -1.0;
+    }
     Entry entry;
     entry.key = label + " " + std::to_string(static_cast<long>(rows)) + "x" +
                 std::to_string(static_cast<long>(dims));
     entry.qps = qps;
     entry.p95_us = p95;
+    entry.shed_rate = shed;
     doc.results.push_back(entry);
     pos = close;
   }
@@ -145,6 +173,7 @@ int usage(const char* argv0) {
                "usage: %s <baseline.json> <fresh.json> "
                "[--max-regression <frac in (0,1)>] "
                "[--max-latency-regression <frac in (0,1)>] "
+               "[--max-shed-increase <frac in (0,1)>] "
                "[--require-same-concurrency]\n",
                argv0);
   return 2;
@@ -164,6 +193,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double max_regression = 0.25;
   double max_latency_regression = 0.25;
+  double max_shed_increase = 0.05;
   bool require_same_concurrency = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
@@ -173,6 +203,9 @@ int main(int argc, char** argv) {
       if (!parse_fraction(argv[++i], max_latency_regression)) {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--max-shed-increase") == 0 &&
+               i + 1 < argc) {
+      if (!parse_fraction(argv[++i], max_shed_increase)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--require-same-concurrency") == 0) {
       require_same_concurrency = true;
     } else if (argv[i][0] == '-') {
@@ -215,15 +248,24 @@ int main(int argc, char** argv) {
     const bool latency_regressed =
         base.p95_us > 0.0 &&
         now->p95_us > base.p95_us * (1.0 + max_latency_regression);
-    const char* verdict = qps_regressed && latency_regressed
-                              ? "  REGRESSION (q/s + p95)"
-                          : qps_regressed     ? "  REGRESSION (q/s)"
-                          : latency_regressed ? "  REGRESSION (p95)"
-                                              : "";
-    std::printf("%-32s %12.0f %12.0f %8.2fx %11.1f %11.1f%s\n",
+    // The shed gate needs both sides to carry the field; absolute
+    // margin because the committed operating point is typically 0.00.
+    const bool shed_regressed =
+        base.shed_rate >= 0.0 && now->shed_rate >= 0.0 &&
+        now->shed_rate > base.shed_rate + max_shed_increase;
+    const char* verdict = qps_regressed || latency_regressed || shed_regressed
+                              ? "  REGRESSION"
+                              : "";
+    std::printf("%-32s %12.0f %12.0f %8.2fx %11.1f %11.1f%s%s%s%s\n",
                 base.key.c_str(), base.qps, now->qps, ratio, base.p95_us,
-                now->p95_us, verdict);
-    if (qps_regressed || latency_regressed) ++regressions;
+                now->p95_us, verdict, qps_regressed ? " (q/s)" : "",
+                latency_regressed ? " (p95)" : "",
+                shed_regressed ? " (shed)" : "");
+    if (base.shed_rate >= 0.0 && now->shed_rate >= 0.0) {
+      std::printf("%-32s %12s %12s %9s shed %.3f -> %.3f\n", "", "", "", "",
+                  base.shed_rate, now->shed_rate);
+    }
+    if (qps_regressed || latency_regressed || shed_regressed) ++regressions;
   }
   for (const auto& entry : fresh.results) {
     if (lookup(baseline, entry.key) == nullptr) {
@@ -232,14 +274,15 @@ int main(int argc, char** argv) {
     }
   }
   if (regressions > 0) {
-    std::printf("bench_compare: %d label(s) regressed beyond %.0f%% q/s "
-                "or %.0f%% p95 latency\n",
+    std::printf("bench_compare: %d label(s) regressed beyond %.0f%% q/s, "
+                "%.0f%% p95 latency, or +%.2f shed rate\n",
                 regressions, max_regression * 100.0,
-                max_latency_regression * 100.0);
+                max_latency_regression * 100.0, max_shed_increase);
     return 1;
   }
   std::printf("bench_compare: no regression beyond %.0f%% q/s / %.0f%% "
-              "p95 latency\n",
-              max_regression * 100.0, max_latency_regression * 100.0);
+              "p95 latency / +%.2f shed rate\n",
+              max_regression * 100.0, max_latency_regression * 100.0,
+              max_shed_increase);
   return 0;
 }

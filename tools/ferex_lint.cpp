@@ -33,6 +33,12 @@
 //                  survive a crash (snapshots, WALs, BENCH_*.json) go
 //                  through util::durable_file (atomic_write_file,
 //                  AppendFile) and inherit its fsync discipline.
+//   rejection-base  A class in src/serve/ must not derive directly from
+//                  std::runtime_error / std::logic_error: typed request
+//                  rejections derive from serve::RejectedRequest (so
+//                  one catch sheds on every reason). Index-state errors
+//                  that are deliberately not rejections (CorruptLog,
+//                  SnapshotMismatch) carry a waiver explaining why.
 //
 // Waiver: append `// ferex-lint: allow(<rule-id>)` on the offending
 // line, with a justifying comment nearby. Waivers are part of the
@@ -456,6 +462,59 @@ void check_raw_file_io(const FileCheck& f) {
   }
 }
 
+// -------------------------------------------------------- rejection-base --
+void check_rejection_base(const FileCheck& f) {
+  if (!f.in("src/serve/")) return;
+  static constexpr std::string_view kBases[] = {"std::runtime_error",
+                                                "std::logic_error"};
+  static constexpr std::string_view kBaseKeywords[] = {"public", "protected",
+                                                       "private", "virtual"};
+  for (const auto base : kBases) {
+    for (std::size_t pos = f.code.find(base); pos != std::string::npos;
+         pos = f.code.find(base, pos + 1)) {
+      if (pos > 0 && is_ident(f.code[pos - 1])) continue;
+      // A base-clause use is followed by '{' or ',' (the class body or
+      // the next base); a constructor-init or throw is followed by '('.
+      std::size_t after = pos + base.size();
+      while (after < f.code.size() &&
+             std::isspace(static_cast<unsigned char>(f.code[after])) != 0) {
+        ++after;
+      }
+      if (after >= f.code.size() ||
+          (f.code[after] != '{' && f.code[after] != ',')) {
+        continue;
+      }
+      // Walk back over access/virtual keywords to the ':' or ',' that
+      // introduces the base list.
+      std::size_t p = pos;
+      for (;;) {
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(f.code[p - 1])) != 0) {
+          --p;
+        }
+        if (p == 0) break;
+        if (is_ident(f.code[p - 1])) {
+          std::size_t start = p;
+          while (start > 0 && is_ident(f.code[start - 1])) --start;
+          const std::string_view word(f.code.data() + start, p - start);
+          bool keyword = false;
+          for (const auto k : kBaseKeywords) keyword = keyword || word == k;
+          if (!keyword) break;
+          p = start;
+          continue;
+        }
+        break;
+      }
+      if (p == 0 || (f.code[p - 1] != ':' && f.code[p - 1] != ',')) continue;
+      f.report(pos, "rejection-base",
+               "class in src/serve/ derives directly from " +
+                   std::string(base) +
+                   " — typed rejections derive from serve::RejectedRequest "
+                   "(waive only for non-rejection state errors)");
+    }
+  }
+}
+
 // --------------------------------------------------------- pragma-expiry --
 void check_pragma_expiry(const FileCheck& f) {
   const std::string needle = "#pragma";
@@ -509,6 +568,7 @@ bool scan_file(const fs::path& file, std::vector<Violation>& out) {
   check_guarded_mutator(f);
   check_ordinal_before_validate(f);
   check_raw_file_io(f);
+  check_rejection_base(f);
   check_pragma_expiry(f);
   return true;
 }
