@@ -5,7 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
-#include "serve/merge_topk.hpp"
+#include "util/merge_topk.hpp"
 #include "util/parallel.hpp"
 
 namespace ferex::arch {
@@ -287,7 +287,7 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
   // (shared with serve::ShardedIndex, which applies the same rule across
   // shards). A noiseless comparator over the already-sensed winners is
   // bit-identical to the global LTA stage with no rng attached.
-  std::vector<serve::GroupWinner> winners(banks_.size());
+  std::vector<util::GroupWinner> winners(banks_.size());
   for (std::size_t b = 0; b < banks_.size(); ++b) {
     winners[b].live = bank_live[b] != 0;
     winners[b].sensed = winners[b].live
@@ -295,7 +295,7 @@ BankedSearchResult BankedAm::search_ordinal(std::span<const int> query,
                             : std::numeric_limits<double>::infinity();
     winners[b].margin_a = bank_results[b].margin_a;
   }
-  const auto decision = serve::merge_topk(winners);
+  const auto decision = util::merge_topk(winners);
   const auto& winner = bank_results[decision.group];
   BankedSearchResult out;
   out.bank = decision.group;

@@ -355,8 +355,15 @@ class AsyncAmIndex {
   util::BoundedQueue<Pending> queue_;
 
   /// Guards serial_ / shutdown_ / admission-order counters and makes
-  /// admission + ordinal assignment atomic.
-  mutable util::Mutex submit_mutex_;
+  /// admission + ordinal assignment atomic. Lock hierarchy (declared
+  /// here, enforced acyclic by ferex_lint's lock-order pass): the
+  /// submit paths nest validate_mutex_ (shared) inside this lock, and
+  /// writes_pending() nests order_mutex_ inside validate_mutex_ — so
+  /// submit_mutex_ -> validate_mutex_ -> order_mutex_, never the
+  /// reverse (the dispatch side takes order_mutex_ and validate_mutex_
+  /// in disjoint scopes).
+  mutable util::Mutex submit_mutex_
+      ACQUIRED_BEFORE(validate_mutex_, order_mutex_);
   std::uint64_t serial_ GUARDED_BY(submit_mutex_) = 0;
   bool shutdown_ GUARDED_BY(submit_mutex_) = false;
   /// Mirrors shutdown_ for lock-free reads in the pre-lock validators;
@@ -382,8 +389,10 @@ class AsyncAmIndex {
 
   /// Guards submit-time validation (which reads backend state) against
   /// concurrent write application: validators hold it shared, the
-  /// applying dispatcher exclusively.
-  mutable util::SharedMutex validate_mutex_;
+  /// applying dispatcher exclusively. Middle rung of the declared
+  /// hierarchy: the quiescence probe (writes_pending) takes
+  /// order_mutex_ while a validator holds this lock shared.
+  mutable util::SharedMutex validate_mutex_ ACQUIRED_BEFORE(order_mutex_);
 
   /// Waived from the repo linter's raw-thread rule: dispatcher threads
   /// are this subsystem's purpose, and their lifecycle is owned end to

@@ -7,7 +7,7 @@
 
 #include "serve/banked_index.hpp"
 #include "serve/engine_index.hpp"
-#include "serve/merge_topk.hpp"
+#include "util/merge_topk.hpp"
 #include "util/parallel.hpp"
 
 namespace ferex::serve {
@@ -294,14 +294,14 @@ SearchResponse ShardedIndex::merge_shard_responses(
     // Single-winner gather: the shared two-best merge (the same rule
     // BankedAm applies across banks) picks the winner and reconstructs
     // its margin against the best losing shard winner.
-    std::vector<GroupWinner> winners(parts.size());
+    std::vector<util::GroupWinner> winners(parts.size());
     for (std::size_t s = 0; s < parts.size(); ++s) {
       if (parts[s].hits.empty()) continue;  // dead shard
       winners[s].live = true;
       winners[s].sensed = merge_key(parts[s].hits.front());
       winners[s].margin_a = parts[s].hits.front().margin_a;
     }
-    const auto merged = merge_topk(winners);
+    const auto merged = util::merge_topk(winners);
     Hit hit = parts[merged.group].hits.front();
     hit.global_row = to_global(merged.group, hit.global_row);
     hit.bank = merged.group;

@@ -33,7 +33,7 @@
 // (circuit) / nominal distance (nominal). Cross-shard `margin_a` is the
 // winner's gap to the best losing candidate across all shards — for
 // k == 1 exactly BankedAm's two-best rule via the shared
-// serve::merge_topk; for k > 1 each merged hit's margin is the gap to
+// util::merge_topk; for k > 1 each merged hit's margin is the gap to
 // the best remaining head after it is taken — with the per-shard
 // overfetch that head is the true global runner-up, so at nominal
 // fidelity these gaps equal the flat index's round margins bit for bit

@@ -5,8 +5,11 @@
 /// Both `arch::BankedAm` (merging per-bank winners) and
 /// `serve::ShardedIndex` (merging per-shard winners) resolve a global
 /// winner from a set of group-local winners and must reconstruct the
-/// winner's margin across groups. The rule is identical in both layers
-/// and subtle enough to drift if re-derived:
+/// winner's margin across groups. It lives in `util` because both
+/// consumers sit on opposite sides of the module DAG (`arch` below
+/// `serve`): hosting it in `serve` made `arch -> serve` the repo's one
+/// upward include edge. The rule is identical in both layers and
+/// subtle enough to drift if re-derived:
 ///
 ///   - the winner is the live group with the strictly smallest sensed
 ///     value (ties go to the lowest group index, matching the
@@ -27,7 +30,7 @@
 #include <span>
 #include <stdexcept>
 
-namespace ferex::serve {
+namespace ferex::util {
 
 /// One group's local winner, as input to `merge_topk`.
 struct GroupWinner {
@@ -79,4 +82,4 @@ inline MergedWinner merge_topk(std::span<const GroupWinner> groups) {
   return out;
 }
 
-}  // namespace ferex::serve
+}  // namespace ferex::util

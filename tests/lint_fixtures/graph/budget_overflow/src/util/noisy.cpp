@@ -1,0 +1,8 @@
+// Seeded budget-overflow fixture: six suppression markers under src/
+// against a budget of five.
+int a1() { return 1; }  // NOLINT
+int a2() { return 2; }  // NOLINT
+int a3() { return 3; }  // NOLINT
+int a4() { return 4; }  // NOLINT
+int a5() { return 5; }  // NOLINT
+int a6() { return 6; }  // NOLINT

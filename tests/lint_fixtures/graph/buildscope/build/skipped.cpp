@@ -1,0 +1,3 @@
+// Lives in a root-level build tree: the walk must never scan this.
+#include <thread>
+void generated() { std::thread worker([] {}); worker.join(); }

@@ -1,0 +1,4 @@
+// Regression fixture for the build-dir skip bug: src/builder/ must be
+// walked (the old prefix match skipped any dir starting with "build").
+#include <thread>
+void spawn() { std::thread worker([] {}); worker.join(); }

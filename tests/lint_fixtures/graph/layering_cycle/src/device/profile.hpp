@@ -1,0 +1,3 @@
+#pragma once
+#include "encode/codec.hpp"
+inline int device_rows() { return 4; }

@@ -1,0 +1,5 @@
+// Seeded layering-cycle fixture: encode and device share rank 1, so
+// neither edge is upward on its own — the cycle rule has to catch it.
+#pragma once
+#include "device/profile.hpp"
+inline int codec_width() { return device_rows() * 2; }

@@ -1,0 +1,5 @@
+// Seeded layering-upward fixture: util (rank 0) reaching into serve
+// (rank 6) inverts the DAG even though no cycle forms.
+#pragma once
+#include "serve/reject.hpp"
+inline int util_helper() { return 1; }

@@ -1,0 +1,20 @@
+// Seeded lock-order-cycle fixture: ab() nests b under a (matching the
+// declared edge), ba() nests a under b — the observed back edge closes
+// the cycle.
+#pragma once
+
+class TwoLocks {
+ public:
+  void ab() {
+    MutexLock hold_a(mu_a_);
+    MutexLock hold_b(mu_b_);
+  }
+  void ba() {
+    MutexLock hold_b(mu_b_);
+    MutexLock hold_a(mu_a_);
+  }
+
+ private:
+  Mutex mu_a_ ACQUIRED_BEFORE(mu_b_);
+  Mutex mu_b_;
+};

@@ -1,0 +1,2 @@
+// Sweep stub: scans as a crash sweep but never names the orphan site.
+inline const char* kSweptSites[] = {"fixture.covered.site"};

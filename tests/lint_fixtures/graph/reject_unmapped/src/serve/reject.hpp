@@ -1,0 +1,34 @@
+// Seeded reject-reason-unmapped fixture: kStarved has no to_string
+// case, and the Ghost subclass names an enumerator that does not exist.
+#pragma once
+#include <stdexcept>
+#include <string>
+
+enum class RejectReason {
+  kOverloaded,
+  kStarved,
+};
+
+constexpr const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kOverloaded:
+      return "overloaded";
+  }
+  return "?";
+}
+
+// Fixture mirror of the real base; deliberately not a typed rejection.
+class RejectedRequest : public std::runtime_error {  // ferex-lint: allow(rejection-base)
+ public:
+  RejectedRequest(RejectReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+
+ private:
+  RejectReason reason_;
+};
+
+class Ghost : public RejectedRequest {
+ public:
+  explicit Ghost(const std::string& what)
+      : RejectedRequest(RejectReason::kVanished, what) {}
+};

@@ -1,0 +1,6 @@
+// Seeded stale-bench-label fixture emitter: declares the bench name and
+// one live label ("live_" + "label"), but nothing can produce
+// "ghost_label" in the committed snapshot.
+inline const char* bench_name() { return "bench_fixture"; }
+inline const char* live_prefix() { return "live_"; }
+inline const char* live_suffix() { return "label"; }

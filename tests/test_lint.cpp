@@ -107,6 +107,136 @@ TEST(FerexLint, MissingPathExitsTwo) {
   EXPECT_EQ(lint(fixture("does_not_exist.cpp"), out), 2) << out;
 }
 
+// ---- graph rules: each seeded tree fails with exactly its rule id ----
+// Graph fixtures are whole directory trees (phase 2 only runs on a
+// directory scan): lint(<tree>) must exit 1 and name both the rule and
+// the offending file.
+
+/// Asserts `lint(graph/<tree>)` exits 1 and the output names `rule` at
+/// a path containing `path_part`.
+void expect_graph_violation(const std::string& tree, const std::string& rule,
+                            const std::string& path_part) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("graph/" + tree), out), 1) << out;
+  EXPECT_NE(out.find(rule), std::string::npos) << out;
+  EXPECT_NE(out.find(path_part), std::string::npos) << out;
+}
+
+TEST(FerexLintGraph, FlagsLayeringCycle) {
+  // encode and device share a rank, so neither edge is upward alone —
+  // only the cycle pass can reject the pair.
+  expect_graph_violation("layering_cycle", "layering-cycle", "src/device");
+}
+
+TEST(FerexLintGraph, FlagsLayeringUpward) {
+  expect_graph_violation("layering_upward", "layering-upward",
+                         "src/util/clock.hpp");
+}
+
+TEST(FerexLintGraph, FlagsLockOrderCycle) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("graph/lock_cycle"), out), 1) << out;
+  EXPECT_NE(out.find("lock-order-cycle"), std::string::npos) << out;
+  // The reversed nesting in ba() is also undeclared — both findings
+  // anchor in the fixture header.
+  EXPECT_NE(out.find("lock-order-undeclared"), std::string::npos) << out;
+  EXPECT_NE(out.find("two_locks.hpp"), std::string::npos) << out;
+}
+
+TEST(FerexLintGraph, FlagsRejectReasonUnmapped) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("graph/reject_unmapped"), out), 1) << out;
+  // Both halves of the bijection: an enumerator with no to_string case
+  // and a subclass naming a nonexistent enumerator.
+  EXPECT_NE(out.find("kStarved"), std::string::npos) << out;
+  EXPECT_NE(out.find("kVanished"), std::string::npos) << out;
+  EXPECT_NE(out.find("reject-reason-unmapped"), std::string::npos) << out;
+}
+
+TEST(FerexLintGraph, FlagsOrphanFailpoint) {
+  expect_graph_violation("orphan_failpoint", "orphan-failpoint",
+                         "fixture.orphan.site");
+}
+
+TEST(FerexLintGraph, FlagsStaleBenchLabel) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("graph/stale_bench_label"), out), 1) << out;
+  EXPECT_NE(out.find("stale-bench-label"), std::string::npos) << out;
+  EXPECT_NE(out.find("ghost_label"), std::string::npos) << out;
+  // live_label is emittable as "live_" + "label" — concatenation
+  // counts as live, so it must not be flagged.
+  EXPECT_EQ(out.find("\"live_label\""), std::string::npos) << out;
+}
+
+TEST(FerexLintGraph, FlagsStaleCiLabel) {
+  expect_graph_violation("stale_ci_label", "stale-ci-label", "ci.yml");
+}
+
+TEST(FerexLintGraph, FlagsBudgetOverflow) {
+  expect_graph_violation("budget_overflow", "budget-overflow", "noisy.cpp");
+}
+
+// Regression for the build-dir skip bug: only a *root-level* build*/
+// directory is generated output; a nested src/builder/ is source and
+// must be linted.
+TEST(FerexLintGraph, BuildDirSkipIsRootRelative) {
+  std::string out;
+  EXPECT_EQ(lint(fixture("graph/buildscope"), out), 1) << out;
+  EXPECT_NE(out.find("src/builder/evil.cpp"), std::string::npos) << out;
+  EXPECT_EQ(out.find("skipped.cpp"), std::string::npos) << out;
+}
+
+// ---- CLI surface: --explain, --json, --lock-hierarchy ----------------
+
+TEST(FerexLintCli, ExplainKnownRuleExitsZero) {
+  for (const std::string rule :
+       {"layering-cycle", "lock-order-undeclared", "stale-bench-label"}) {
+    std::string out;
+    EXPECT_EQ(run(std::string(FEREX_LINT_BIN) + " --explain " + rule, out), 0)
+        << rule << ": " << out;
+    EXPECT_NE(out.find(rule), std::string::npos) << out;
+  }
+}
+
+TEST(FerexLintCli, ExplainUnknownRuleExitsTwoAndListsRules) {
+  std::string out;
+  EXPECT_EQ(run(std::string(FEREX_LINT_BIN) + " --explain no-such-rule", out),
+            2)
+      << out;
+  // The error must teach: the known-rule list is the recovery path.
+  EXPECT_NE(out.find("layering-upward"), std::string::npos) << out;
+}
+
+TEST(FerexLintCli, JsonReportOnViolatingTree) {
+  const std::string report = ::testing::TempDir() + "ferex_lint_report.json";
+  std::string out;
+  EXPECT_EQ(run(std::string(FEREX_LINT_BIN) + " " +
+                    fixture("graph/layering_upward") + " --json " + report,
+                out),
+            1)
+      << out;
+  std::string json;
+  ASSERT_EQ(run("cat " + report, json), 0);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"layering-upward\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"module_edges\""), std::string::npos) << json;
+  std::remove(report.c_str());
+}
+
+TEST(FerexLintCli, LockHierarchyPrintsRealTreeEdges) {
+  std::string out;
+  EXPECT_EQ(run(std::string(FEREX_LINT_BIN) + " " +
+                    std::string(FEREX_SOURCE_ROOT) + " --lock-hierarchy",
+                out),
+            0)
+      << out;
+  // The serving pipeline's declared order is the hierarchy's spine.
+  EXPECT_NE(out.find("submit_mutex_"), std::string::npos) << out;
+  EXPECT_NE(out.find("->"), std::string::npos) << out;
+  EXPECT_NE(out.find("declared"), std::string::npos) << out;
+}
+
 // The invariant the whole PR rides on: the shipped tree is lint-clean,
 // so any future violation is a red CI, not a slow drift.
 TEST(FerexLint, RealTreeIsClean) {
